@@ -1,0 +1,25 @@
+"""Fig. 6(a) benchmark: relative light-sleep uptime increase vs unicast.
+
+Regenerates the left panel of the paper's Fig. 6 — per-mechanism
+light-sleep uptime relative to the unicast baseline — and reports the
+wall-clock cost of the whole Monte-Carlo pipeline.
+"""
+
+from conftest import emit
+
+from repro.experiments.reporting import render_table
+from repro.experiments.uptime import FIG6_MECHANISMS, run_fig6a
+
+
+def test_fig6a_light_sleep_uptime(benchmark, bench_config, capsys):
+    table, stats = benchmark.pedantic(
+        run_fig6a, args=(bench_config,), iterations=1, rounds=1
+    )
+    emit(capsys, render_table(table))
+    for name in FIG6_MECHANISMS:
+        benchmark.extra_info[f"{name}_light_sleep_increase"] = stats[
+            f"{name}/light_sleep"
+        ].mean
+    # The figure's qualitative content must survive any configuration:
+    assert abs(stats["dr-sc/light_sleep"].mean) < 0.02
+    assert stats["da-sc/light_sleep"].mean > stats["dr-si/light_sleep"].mean

@@ -1,0 +1,31 @@
+"""Fig. 6(b) benchmark: relative connected-mode uptime increase vs unicast.
+
+Regenerates the right panel of the paper's Fig. 6: the connected-mode
+uptime increase of each mechanism for 100 KB / 1 MB / 10 MB payloads.
+"""
+
+from conftest import emit
+
+from repro.experiments.reporting import render_table
+from repro.experiments.uptime import run_fig6b
+from repro.timebase import format_bytes
+
+
+def test_fig6b_connected_uptime(benchmark, bench_config, capsys):
+    table, per_payload = benchmark.pedantic(
+        run_fig6b, args=(bench_config,), iterations=1, rounds=1
+    )
+    emit(capsys, render_table(table))
+    for payload, stats in per_payload.items():
+        benchmark.extra_info[f"dasc_connected_{payload}"] = stats[
+            "da-sc/connected"
+        ].mean
+    # Paper claims encoded as assertions:
+    sizes = [format_bytes(p) for p in bench_config.payload_sizes]
+    small, large = per_payload[sizes[0]], per_payload[sizes[-1]]
+    # DA-SC has the longest connected uptime at every size...
+    for stats in per_payload.values():
+        assert stats["da-sc/connected"].mean >= stats["dr-si/connected"].mean
+    # ...and the overhead becomes negligible for large payloads.
+    assert large["da-sc/connected"].mean < small["da-sc/connected"].mean
+    assert large["da-sc/connected"].mean < 0.01

@@ -1,0 +1,31 @@
+"""Fig. 7 benchmark: DR-SC multicast transmissions vs fleet size.
+
+Regenerates the paper's Fig. 7 series: the mean number of multicast
+transmissions the greedy set cover needs to update every device, for
+fleets from 100 to 1000 devices (sweep configurable via env).
+"""
+
+from conftest import emit
+
+from repro.experiments.reporting import render_table
+from repro.experiments.transmissions import run_fig7
+
+
+def test_fig7_transmission_counts(benchmark, bench_config, capsys):
+    table, per_n = benchmark.pedantic(
+        run_fig7, args=(bench_config,), iterations=1, rounds=1
+    )
+    emit(capsys, render_table(table))
+    counts = {n: stats["transmissions"].mean for n, stats in per_n.items()}
+    fractions = {
+        n: stats["fraction_of_unicast"].mean for n, stats in per_n.items()
+    }
+    for n, mean in counts.items():
+        benchmark.extra_info[f"tx_at_{n}"] = mean
+    smallest, largest = min(counts), max(counts)
+    # Paper claims: ~50% of N for small fleets...
+    assert 0.35 <= fractions[smallest] <= 0.65
+    # ...the ratio falls as N grows (economies of scale)...
+    assert fractions[largest] < fractions[smallest]
+    # ...but the absolute count keeps growing (sublinearly).
+    assert counts[largest] > counts[smallest]

@@ -1,0 +1,56 @@
+"""A3 + A6 benchmarks: set-cover quality and solver/executor throughput.
+
+* A3 — greedy (Chvátal) vs exact branch-and-bound on small instances:
+  how far from optimal is the paper's approximation in practice?
+* A6 — scalability: wall-clock of the DR-SC sweep-line planner and of a
+  full campaign execution at paper scale (1000 devices).
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.core import DaScMechanism, DrScMechanism
+from repro.core.base import PlanningContext
+from repro.experiments.ablations import run_setcover_quality
+from repro.experiments.reporting import render_table
+from repro.sim.executor import CampaignExecutor
+from repro.traffic.generator import generate_fleet
+from repro.traffic.mixtures import PAPER_DEFAULT_MIXTURE
+
+
+def test_a3_greedy_vs_exact_quality(benchmark, capsys):
+    table, stats = benchmark.pedantic(
+        run_setcover_quality,
+        kwargs={"n_devices": 12, "n_runs": 15},
+        iterations=1,
+        rounds=1,
+    )
+    emit(capsys, render_table(table))
+    benchmark.extra_info["mean_ratio"] = stats["ratio"].mean
+    assert stats["ratio"].mean >= 1.0  # greedy can't beat the optimum
+    assert stats["ratio"].mean < 1.25  # ...and is near-optimal here
+
+
+def test_a6_drsc_planner_throughput_1000_devices(benchmark):
+    """The greedy sweep at the paper's largest scale (Fig. 7 rightmost)."""
+    rng = np.random.default_rng(0)
+    fleet = generate_fleet(1000, PAPER_DEFAULT_MIXTURE, rng)
+    context = PlanningContext(payload_bytes=100_000)
+
+    def plan_once():
+        return DrScMechanism().plan(fleet, context, np.random.default_rng(1))
+
+    plan = benchmark(plan_once)
+    assert plan.n_transmissions >= 1
+
+
+def test_a6_campaign_execution_throughput(benchmark):
+    """Plan + execute a 500-device DA-SC campaign end to end."""
+    rng = np.random.default_rng(0)
+    fleet = generate_fleet(500, PAPER_DEFAULT_MIXTURE, rng)
+    context = PlanningContext(payload_bytes=1_000_000)
+    plan = DaScMechanism().plan(fleet, context, rng)
+    executor = CampaignExecutor()
+
+    result = benchmark(lambda: executor.execute(fleet, plan))
+    assert len(result.outcomes) == 500

@@ -1,0 +1,44 @@
+"""Shared benchmark configuration.
+
+Benchmarks regenerate the paper's figures. By default they run scaled
+down so ``pytest benchmarks/ --benchmark-only`` finishes in minutes;
+set ``REPRO_BENCH_FULL=1`` to use the paper's full parameters (100
+Monte-Carlo runs, fleets up to 1000 devices), or tune individually with
+``REPRO_BENCH_RUNS`` / ``REPRO_BENCH_DEVICES``.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+
+
+def _env_int(name: str, default: int) -> int:
+    value = os.environ.get(name)
+    return int(value) if value else default
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration benchmarks run with."""
+    if os.environ.get("REPRO_BENCH_FULL"):
+        return ExperimentConfig()
+    runs = _env_int("REPRO_BENCH_RUNS", 5)
+    devices = _env_int("REPRO_BENCH_DEVICES", 150)
+    return replace(
+        ExperimentConfig(),
+        n_runs=runs,
+        n_devices=devices,
+        device_counts=(100, 300, 500, 1000),
+    )
+
+
+def emit(capsys, text: str) -> None:
+    """Print a results table to the real terminal from inside a test."""
+    with capsys.disabled():
+        print()
+        print(text)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Battery-lifetime impact of recurring firmware campaigns.
+
+NB-IoT's promise is ">10 years on a single battery" (paper Sec. I).
+This example measures per-device campaign energy with the executor for
+each mechanism, then projects what a quarterly 1 MB firmware cadence
+does to a 5 Ah meter battery — the operator-facing version of the
+paper's Fig. 6.
+
+Run:
+    python examples/battery_lifetime.py
+"""
+
+import numpy as np
+
+from repro import (
+    Battery,
+    DaScMechanism,
+    DrScMechanism,
+    DrSiMechanism,
+    DrxCycle,
+    PlanningContext,
+    UnicastBaseline,
+    generate_fleet,
+    PAPER_DEFAULT_MIXTURE,
+)
+from repro.energy import DutyCycle, project_lifetime
+from repro.sim.executor import CampaignExecutor
+
+CAMPAIGNS_PER_YEAR = 4.0
+PAYLOAD = 1_000_000
+N_DEVICES = 300
+
+
+def per_device_campaign_energy_mj(mechanism, fleet, context, seed) -> float:
+    rng = np.random.default_rng(seed)
+    plan = mechanism.plan(fleet, context, rng)
+    result = CampaignExecutor().execute(fleet, plan)
+    return result.fleet.energy_mj / len(fleet)
+
+
+def main() -> None:
+    rng = np.random.default_rng(314)
+    fleet = generate_fleet(N_DEVICES, PAPER_DEFAULT_MIXTURE, rng)
+    context = PlanningContext(payload_bytes=PAYLOAD)
+    battery = Battery(capacity_mah=5000)
+    duty = DutyCycle(
+        drx_cycle=DrxCycle.from_seconds(10485.76),  # metering tier
+        report_period_s=86_400.0,
+    )
+
+    baseline = project_lifetime(battery, duty, 0.0, 0.0)
+    print(
+        f"steady-state meter (daily report, 175min eDRX): "
+        f"{baseline.baseline_years:.1f} years on {battery.capacity_mah:.0f} mAh\n"
+    )
+    print(
+        f"quarterly {PAYLOAD // 1_000_000} MB firmware campaigns, "
+        f"{N_DEVICES}-device fleet:\n"
+    )
+    print(f"{'mechanism':10} {'energy/campaign':>16} {'lifetime':>10} "
+          f"{'vs unicast':>12} {'>=10y':>6}")
+    unicast_years = None
+    for mechanism in (
+        UnicastBaseline(), DrScMechanism(), DaScMechanism(), DrSiMechanism()
+    ):
+        energy = per_device_campaign_energy_mj(mechanism, fleet, context, 5)
+        projection = project_lifetime(
+            battery, duty, energy, CAMPAIGNS_PER_YEAR
+        )
+        if unicast_years is None:
+            unicast_years = projection.with_campaigns_years
+        delta_days = (unicast_years - projection.with_campaigns_years) * 365.25
+        print(
+            f"{mechanism.name:10} {energy / 1000:13.1f} J "
+            f"{projection.with_campaigns_years:8.1f}y "
+            f"{-delta_days:9.0f} days "
+            f"{'yes' if projection.still_meets_ten_years else 'NO':>6}"
+        )
+    print(
+        "\nReceiving the payload dominates the per-device energy: grouping "
+        "costs each\ndevice only days of battery life vs unicast, while the "
+        "*bandwidth* gap\n(1 vs ~N transmissions) decides whether the cell "
+        "survives the campaign —\nthe paper's central trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

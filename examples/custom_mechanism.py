@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Extending the library: write your own grouping mechanism.
+
+Implements a *hybrid* mechanism on the public API: run DR-SC's greedy
+cover, but cap the number of transmissions at a budget; devices left
+over after the budget is spent are handled DA-SC-style (cycle
+adaptation into the final window). The result interpolates between the
+paper's two standards-compliant extremes.
+
+This is exactly the extension point a downstream user would reach for —
+subclass :class:`repro.GroupingMechanism`, produce a
+:class:`repro.MulticastPlan`, and every executor, validator and report
+in the library works unchanged.
+
+Run:
+    python examples/custom_mechanism.py
+"""
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro import (
+    CampaignExecutor,
+    DaScMechanism,
+    DrScMechanism,
+    FirmwareImage,
+    GroupingMechanism,
+    MulticastPlan,
+    OnDemandMulticastService,
+    PAPER_DEFAULT_MIXTURE,
+    PlanningContext,
+    WakeMethod,
+    generate_fleet,
+)
+from repro.core.da_sc import DaScMechanism as _DaSc
+from repro.core.plan import DeviceDirective
+from repro.setcover.greedy import greedy_window_cover
+
+
+class BudgetedHybridMechanism(GroupingMechanism):
+    """DR-SC with a transmission budget; the tail is DA-SC-adapted.
+
+    The greedy cover is truncated after ``budget - 1`` windows; all
+    remaining devices are adapted (or paged) into one final window at
+    t = announce + 2*maxDRX, exactly as DA-SC would do for the whole
+    fleet.
+    """
+
+    name = "hybrid"
+    standards_compliant = True
+    respects_preferred_drx = False  # the tail devices get adapted
+
+    def __init__(self, budget: int = 10) -> None:
+        if budget < 1:
+            raise ValueError("budget must be >= 1")
+        self._budget = budget
+        self._dasc = DaScMechanism()
+
+    def plan(
+        self,
+        fleet,
+        context: PlanningContext,
+        rng: Optional[np.random.Generator] = None,
+    ) -> MulticastPlan:
+        ti = context.inactivity_timer_frames
+        horizon_end = context.announce_frame + 2 * int(fleet.max_cycle)
+        cover = greedy_window_cover(
+            fleet.phases, fleet.periods, ti, context.announce_frame,
+            horizon_end, rng,
+        )
+        # Keep the biggest (first-selected) windows within budget, but
+        # reserve the final slot for the DA-SC-style tail window.
+        kept = list(zip(cover.windows, cover.assignments))[: self._budget - 1]
+        tail_devices = sorted(
+            set(range(len(fleet)))
+            - {int(i) for _w, members in kept for i in members}
+        )
+
+        transmissions = []
+        directives: List[DeviceDirective] = []
+        entries = sorted(kept, key=lambda pair: pair[0].last_frame)
+        for index, (window, members) in enumerate(entries):
+            transmission = self._build_transmission(
+                index, window.last_frame, [int(i) for i in members],
+                fleet, context.payload_bytes,
+            )
+            transmissions.append(transmission)
+            for device_index in transmission.device_indices:
+                device = fleet[device_index]
+                page = self._page_frame_in_window(
+                    device.schedule, window.start, window.last_frame,
+                    context.connect_slack_frames(device),
+                )
+                directives.append(
+                    DeviceDirective(
+                        device_index=device_index,
+                        transmission_index=index,
+                        method=WakeMethod.PAGED_IN_WINDOW,
+                        page_frame=page,
+                        connect_frame=page,
+                    )
+                )
+
+        if tail_devices:
+            # Delegate the tail to DA-SC on a subfleet, then re-index.
+            tail_fleet = fleet.subset(tail_devices)
+            tail_plan = self._dasc.plan(tail_fleet, context, rng)
+            tail_tx = tail_plan.transmissions[0]
+            tail_index = len(transmissions)
+            transmissions.append(
+                self._build_transmission(
+                    tail_index, tail_tx.frame, tail_devices, fleet,
+                    context.payload_bytes,
+                )
+            )
+            for directive in tail_plan.directives:
+                directives.append(
+                    DeviceDirective(
+                        device_index=tail_devices[directive.device_index],
+                        transmission_index=tail_index,
+                        method=directive.method,
+                        page_frame=directive.page_frame,
+                        connect_frame=directive.connect_frame,
+                        adaptation_page_frame=directive.adaptation_page_frame,
+                        adapted_cycle=directive.adapted_cycle,
+                        t322=directive.t322,
+                    )
+                )
+
+        return MulticastPlan(
+            mechanism=self.name,
+            standards_compliant=self.standards_compliant,
+            respects_preferred_drx=self.respects_preferred_drx,
+            announce_frame=context.announce_frame,
+            inactivity_timer_frames=ti,
+            payload_bytes=context.payload_bytes,
+            transmissions=tuple(transmissions),
+            directives=tuple(directives),
+        )
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    fleet = generate_fleet(300, PAPER_DEFAULT_MIXTURE, rng)
+    image = FirmwareImage(name="hybrid-demo", version="1.0", size_bytes=100_000)
+
+    print(f"{'mechanism':24} {'tx':>5} {'fleet light sleep':>18} "
+          f"{'fleet connected':>16}")
+    for mechanism in (
+        DrScMechanism(),
+        BudgetedHybridMechanism(budget=10),
+        BudgetedHybridMechanism(budget=3),
+        DaScMechanism(),
+    ):
+        service = OnDemandMulticastService(mechanism=mechanism)
+        report = service.deliver(fleet, image, rng=np.random.default_rng(5))
+        label = mechanism.name
+        if isinstance(mechanism, BudgetedHybridMechanism):
+            label = f"{mechanism.name}(budget={mechanism._budget})"
+        totals = report.result.fleet
+        print(
+            f"{label:24} {report.plan.n_transmissions:5d} "
+            f"{totals.light_sleep_s:16.1f}s {totals.connected_s:14.1f}s"
+        )
+    print(
+        "\nA budget of ~10 transmissions captures most of DR-SC's grouping "
+        "wins while\nadapting only the stragglers — an operating point the "
+        "paper leaves unexplored."
+    )
+
+
+if __name__ == "__main__":
+    main()

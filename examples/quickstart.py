@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Quickstart: deliver one firmware image with each grouping mechanism.
+
+Builds a city fleet from the paper-default mixture, then runs the same
+100 KB firmware campaign through DR-SC, DA-SC, DR-SI and the unicast
+baseline, printing the trade-off table the paper's Sec. III describes:
+bandwidth (transmissions), device energy (uptime) and standards
+compliance.
+
+Run:
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CampaignExecutor,
+    DaScMechanism,
+    DrScMechanism,
+    DrSiMechanism,
+    FirmwareImage,
+    OnDemandMulticastService,
+    PAPER_DEFAULT_MIXTURE,
+    UnicastBaseline,
+    generate_fleet,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(2018)
+    fleet = generate_fleet(200, PAPER_DEFAULT_MIXTURE, rng)
+    image = FirmwareImage(
+        name="city-sensor", version="4.2.0", size_bytes=100_000
+    )
+    print(f"fleet: {len(fleet)} devices, cycles "
+          f"{sorted({d.cycle.seconds for d in fleet})}s")
+    print(f"image: {image} (checksum {image.checksum:#010x})\n")
+
+    header = (
+        f"{'mechanism':10} {'tx':>5} {'compliant':>9} {'keeps DRX':>9} "
+        f"{'light sleep':>12} {'connected':>10} {'energy':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for mechanism in (
+        DrScMechanism(),
+        DaScMechanism(),
+        DrSiMechanism(),
+        UnicastBaseline(),
+    ):
+        service = OnDemandMulticastService(mechanism=mechanism)
+        report = service.deliver(fleet, image, rng=np.random.default_rng(7))
+        fleet_totals = report.result.fleet
+        print(
+            f"{report.plan.mechanism:10} "
+            f"{report.plan.n_transmissions:5d} "
+            f"{str(report.plan.standards_compliant):>9} "
+            f"{str(report.plan.respects_preferred_drx):>9} "
+            f"{fleet_totals.light_sleep_s:10.1f}s "
+            f"{fleet_totals.connected_s:8.1f}s "
+            f"{fleet_totals.energy_mj / 1000:7.1f}J"
+        )
+
+    print(
+        "\nThe paper's conclusion in one table: DR-SC wastes bandwidth "
+        "(many transmissions),\nDR-SI needs protocol changes, and DA-SC "
+        "offers the best standards-compliant trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

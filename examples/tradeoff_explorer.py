@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Trade-off explorer: sweep TI and fleet mixtures.
+
+The paper fixes the inactivity timer and a single "realistic" fleet; an
+operator tuning a real cell would want the sensitivity. This example
+sweeps both knobs and prints how DR-SC's bandwidth cost and the
+single-transmission mechanisms' waiting cost move against each other.
+
+Run:
+    python examples/tradeoff_explorer.py
+"""
+
+from dataclasses import replace
+
+import numpy as np
+
+from repro import DrScMechanism, DrSiMechanism, PlanningContext, generate_fleet
+from repro.enb.cell import CellConfig
+from repro.sim.executor import CampaignExecutor
+from repro.timebase import seconds_to_frames
+from repro.traffic.mixtures import (
+    LONG_EDRX_MIXTURE,
+    MODERATE_EDRX_MIXTURE,
+    PAPER_DEFAULT_MIXTURE,
+    SHORT_EDRX_MIXTURE,
+)
+
+N_DEVICES = 300
+PAYLOAD = 100_000
+RUNS = 3
+
+
+def sweep_ti() -> None:
+    print(f"== inactivity-timer sweep (paper-default mixture, "
+          f"{N_DEVICES} devices) ==")
+    print(f"{'TI':>8} {'DR-SC tx':>9} {'% of unicast':>13} "
+          f"{'DR-SI mean wait':>16}")
+    for ti_s in (10.24, 15.36, 20.48, 25.60, 30.72):
+        cell = CellConfig(inactivity_timer_frames=seconds_to_frames(ti_s))
+        context = PlanningContext(payload_bytes=PAYLOAD, cell=cell)
+        tx_counts, waits = [], []
+        for seed in range(RUNS):
+            rng = np.random.default_rng(100 + seed)
+            fleet = generate_fleet(N_DEVICES, PAPER_DEFAULT_MIXTURE, rng)
+            tx_counts.append(
+                DrScMechanism().plan(fleet, context, rng).n_transmissions
+            )
+            plan = DrSiMechanism().plan(fleet, context, rng)
+            result = CampaignExecutor().execute(fleet, plan)
+            waits.append(result.mean_wait_s)
+        print(
+            f"{ti_s:7.2f}s {np.mean(tx_counts):9.1f} "
+            f"{np.mean(tx_counts) / N_DEVICES * 100:12.0f}% "
+            f"{np.mean(waits):15.1f}s"
+        )
+    print("longer TI -> wider grouping windows -> fewer DR-SC transmissions,"
+          "\nbut every grouped device idles longer in connected mode.\n")
+
+
+def sweep_mixture() -> None:
+    print(f"== fleet-mixture sweep (TI=20.48s, {N_DEVICES} devices) ==")
+    context = PlanningContext(payload_bytes=PAYLOAD)
+    print(f"{'mixture':>16} {'DR-SC tx':>9} {'% of unicast':>13}")
+    for mixture in (
+        SHORT_EDRX_MIXTURE,
+        MODERATE_EDRX_MIXTURE,
+        LONG_EDRX_MIXTURE,
+        PAPER_DEFAULT_MIXTURE,
+    ):
+        tx_counts = []
+        for seed in range(RUNS):
+            rng = np.random.default_rng(200 + seed)
+            fleet = generate_fleet(N_DEVICES, mixture, rng)
+            tx_counts.append(
+                DrScMechanism().plan(fleet, context, rng).n_transmissions
+            )
+        print(
+            f"{mixture.name:>16} {np.mean(tx_counts):9.1f} "
+            f"{np.mean(tx_counts) / N_DEVICES * 100:12.0f}%"
+        )
+    print("the longer the fleet sleeps, the closer DR-SC degenerates to "
+          "unicast —\nthe paper's core argument against it.")
+
+
+def main() -> None:
+    sweep_ti()
+    sweep_mixture()
+
+
+if __name__ == "__main__":
+    main()

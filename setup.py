@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Kept so that ``pip install -e .`` works on environments without the
+``wheel`` package (legacy editable installs); all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

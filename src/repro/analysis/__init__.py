@@ -1,0 +1,23 @@
+"""Analytical cross-checks and statistics helpers."""
+
+from repro.analysis.theory import (
+    expected_connected_increase,
+    expected_wait_s,
+    expected_window_coverage,
+    greedy_approximation_bound,
+    unicast_connected_s,
+)
+from repro.analysis.fig7_model import (
+    expected_greedy_transmissions,
+    transmissions_curve,
+)
+
+__all__ = [
+    "expected_wait_s",
+    "expected_window_coverage",
+    "greedy_approximation_bound",
+    "unicast_connected_s",
+    "expected_connected_increase",
+    "expected_greedy_transmissions",
+    "transmissions_curve",
+]

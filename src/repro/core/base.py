@@ -1,0 +1,165 @@
+"""Mechanism interface and shared planning helpers.
+
+All mechanisms implement ``plan(fleet, context, rng) -> MulticastPlan``.
+The :class:`PlanningContext` bundles everything a mechanism may consult:
+the cell configuration (inactivity timer, paging parameters), the
+control-procedure timing model and the payload.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.device import NbIotDevice
+from repro.devices.fleet import Fleet
+from repro.drx.schedule import PoSchedule
+from repro.enb.cell import CellConfig
+from repro.errors import ConfigurationError, PlanError
+from repro.core.plan import MulticastPlan, Transmission
+from repro.phy.airtime import payload_airtime_frames
+from repro.rrc.procedures import ProcedureTimings
+from repro.timebase import ms_to_frames
+
+
+@dataclass(frozen=True)
+class PlanningContext:
+    """Everything a mechanism needs besides the fleet itself.
+
+    Attributes:
+        payload_bytes: size of the multicast content (firmware image).
+        cell: cell configuration (TI, nB, paging capacity).
+        timings: control-plane procedure durations.
+        announce_frame: frame at which the content became available at
+            the eNB; all paging and transmissions happen at or after it.
+    """
+
+    payload_bytes: int
+    cell: CellConfig = CellConfig()
+    timings: ProcedureTimings = ProcedureTimings()
+    announce_frame: int = 0
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes <= 0:
+            raise ConfigurationError(
+                f"payload must be positive, got {self.payload_bytes}"
+            )
+        if self.announce_frame < 0:
+            raise ConfigurationError(
+                f"announce frame must be >= 0, got {self.announce_frame}"
+            )
+
+    @property
+    def inactivity_timer_frames(self) -> int:
+        """The TI in frames (window length for all mechanisms)."""
+        return self.cell.inactivity_timer_frames
+
+    def connect_slack_frames(self, device: NbIotDevice) -> int:
+        """Frames a device needs from page to connected-and-ready.
+
+        Used by planners to page devices early enough inside the window
+        that they are connected before the nominal transmission start:
+        paging reception + random access (collision-free base duration)
+        + RRC setup.
+        """
+        seconds = (
+            self.timings.airtime.paging_message_s
+            + self.timings.random_access.base_duration_s(device.coverage)
+            + self.timings.airtime.rrc_setup_s
+        )
+        return ms_to_frames(seconds * 1000.0)
+
+    def adaptation_busy_frames(self, device: NbIotDevice) -> int:
+        """Frames the DA-SC adaptation episode keeps a device busy.
+
+        The adapted window PO must land after this span, otherwise the
+        device would still be mid-reconfiguration when it is due to be
+        paged for the multicast.
+        """
+        airtime = self.timings.airtime
+        seconds = (
+            airtime.paging_message_s
+            + self.timings.random_access.base_duration_s(device.coverage)
+            + airtime.rrc_setup_s
+            + airtime.rrc_reconfiguration_s
+            + airtime.rrc_release_s
+        )
+        return ms_to_frames(seconds * 1000.0)
+
+
+class GroupingMechanism(abc.ABC):
+    """Base class for the paper's grouping mechanisms and baselines."""
+
+    #: Short machine-readable identifier (used by the registry and reports).
+    name: str = "abstract"
+
+    #: True unless the mechanism needs protocol changes (paper Sec. III).
+    standards_compliant: bool = True
+
+    #: True unless the mechanism temporarily modifies device DRX cycles.
+    respects_preferred_drx: bool = True
+
+    @abc.abstractmethod
+    def plan(
+        self,
+        fleet: Fleet,
+        context: PlanningContext,
+        rng: Optional[np.random.Generator] = None,
+    ) -> MulticastPlan:
+        """Produce a validated multicast plan for ``fleet``."""
+
+    # ------------------------------------------------------------------
+    # Shared helpers for subclasses
+    # ------------------------------------------------------------------
+    def _build_transmission(
+        self,
+        index: int,
+        frame: int,
+        device_indices: Sequence[int],
+        fleet: Fleet,
+        payload_bytes: int,
+    ) -> Transmission:
+        """Size the bearer for the group and build the transmission."""
+        rate = fleet.group_rate_bps(list(device_indices))
+        return Transmission(
+            index=index,
+            frame=frame,
+            device_indices=tuple(int(i) for i in device_indices),
+            rate_bps=rate,
+            duration_frames=payload_airtime_frames(payload_bytes, rate),
+        )
+
+    @staticmethod
+    def _page_frame_in_window(
+        schedule: PoSchedule,
+        window_start: int,
+        transmission_frame: int,
+        slack_frames: int,
+    ) -> int:
+        """Choose the PO at which to page a device with a window PO.
+
+        Prefers the latest PO that still leaves ``slack_frames`` before
+        the nominal transmission start (minimising the connected wait);
+        falls back to the latest window PO if the whole window tail is
+        inside the slack region. Raises :class:`PlanError` if the device
+        has no PO in the window at all — planners must only call this
+        for covered devices.
+        """
+        latest_with_slack = schedule.last_at_or_before(
+            transmission_frame - slack_frames
+        )
+        if latest_with_slack is not None and latest_with_slack >= window_start:
+            return latest_with_slack
+        fallback = schedule.last_at_or_before(transmission_frame)
+        if fallback is None or fallback < window_start:
+            raise PlanError(
+                f"no PO in window [{window_start}, {transmission_frame}]"
+            )
+        return fallback
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,216 @@
+"""DA-SC: DRX-Adjusting, Standards-Compliant grouping (paper Sec. III-B).
+
+The eNB picks one transmission time ``t`` at least twice the longest
+device cycle after the announce ("at least 2 * maxDRX ... so that there
+will be at least one PO of every device before t") and forces every
+device to have a PO inside ``[t - TI, t)``:
+
+* devices that already have a PO there are simply paged at it;
+* every other device is paged at its **last PO before t - TI**,
+  connects through random access, receives the temporary (shorter) DRX
+  cycle in an RRC Connection Reconfiguration, and is released straight
+  back to sleep; after the multicast the original cycle is restored
+  with one more reconfiguration while the device is still connected.
+
+The temporary cycle is "the maximum that creates a PO within that time
+period". Because every ladder value divides every longer one, PO grids
+*nest*: shortening a cycle only adds wake-ups, and the grid of a longer
+cycle is a subset of any shorter one's. Two consequences the module
+relies on (both property-tested):
+
+1. the adaptation PO itself stays a PO under the new cycle, and the
+   restore needs no phase bookkeeping;
+2. the *maximum* feasible cycle is also the *minimum-wake-up* choice —
+   the paper's two stated goals (max cycle, minimal introduced energy)
+   coincide, so the ``PAPER`` strategy is optimal among grid-anchored
+   adaptations. The ``LARGEST_WITHIN_TI`` strategy is the naive
+   fallback (always pick the largest ladder cycle no longer than TI,
+   which hits any TI-window) used as an ablation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.base import GroupingMechanism, PlanningContext
+from repro.core.plan import DeviceDirective, MulticastPlan, WakeMethod
+from repro.devices.device import NbIotDevice
+from repro.devices.fleet import Fleet
+from repro.drx.cycles import DrxCycle
+from repro.drx.paging import pattern_for
+from repro.drx.schedule import PoSchedule
+from repro.errors import PlanError
+
+
+class AdaptationStrategy(Enum):
+    """How DA-SC chooses the temporary cycle."""
+
+    PAPER = "paper"
+    """Sec. III-B verbatim: the maximum ladder cycle whose grid has a PO
+    inside [t - TI, t) after the adaptation PO. Also minimises the
+    number of introduced wake-ups (grids nest)."""
+
+    LARGEST_WITHIN_TI = "largest_within_ti"
+    """Always the largest ladder cycle <= TI (guaranteed window hit,
+    no per-device search). More wake-ups; the signalling is simpler."""
+
+
+class DaScMechanism(GroupingMechanism):
+    """Single-transmission grouping via temporary DRX shortening."""
+
+    name = "da-sc"
+    standards_compliant = True
+    respects_preferred_drx = False
+
+    def __init__(
+        self, strategy: AdaptationStrategy = AdaptationStrategy.PAPER
+    ) -> None:
+        self._strategy = strategy
+
+    @property
+    def strategy(self) -> AdaptationStrategy:
+        """The configured adaptation strategy."""
+        return self._strategy
+
+    def plan(
+        self,
+        fleet: Fleet,
+        context: PlanningContext,
+        rng: Optional[np.random.Generator] = None,
+    ) -> MulticastPlan:
+        """Plan the single synchronised transmission at t = announce + 2*maxDRX."""
+        ti = context.inactivity_timer_frames
+        t = context.announce_frame + 2 * int(fleet.max_cycle)
+        window_start = t - ti + 1  # POs in [t - TI, t) -> frames [t-TI+1, t]?
+
+        # The paper's window is the half-open [t - TI, t); with the
+        # transmission at frame t itself, a device paged at frame p in
+        # the window waits t - p < TI so its inactivity timer never
+        # expires before the data starts. We therefore accept POs in
+        # [t - TI, t - 1] and page as late as slack allows.
+        window_lo = t - ti
+        window_hi = t - 1
+
+        directives: List[DeviceDirective] = []
+        for device_index, device in enumerate(fleet):
+            schedule = device.schedule
+            slack = context.connect_slack_frames(device)
+            last_window_po = schedule.last_at_or_before(window_hi)
+            if last_window_po is not None and last_window_po >= window_lo:
+                page_frame = self._page_frame_in_window(
+                    schedule, window_lo, window_hi, slack
+                )
+                directives.append(
+                    DeviceDirective(
+                        device_index=device_index,
+                        transmission_index=0,
+                        method=WakeMethod.PAGED_IN_WINDOW,
+                        page_frame=page_frame,
+                        connect_frame=page_frame,
+                    )
+                )
+                continue
+            directives.append(
+                self._adaptation_directive(
+                    device_index, device, window_lo, window_hi, context
+                )
+            )
+
+        transmission = self._build_transmission(
+            index=0,
+            frame=t,
+            device_indices=list(range(len(fleet))),
+            fleet=fleet,
+            payload_bytes=context.payload_bytes,
+        )
+        return MulticastPlan(
+            mechanism=self.name,
+            standards_compliant=self.standards_compliant,
+            respects_preferred_drx=self.respects_preferred_drx,
+            announce_frame=context.announce_frame,
+            inactivity_timer_frames=ti,
+            payload_bytes=context.payload_bytes,
+            transmissions=(transmission,),
+            directives=tuple(directives),
+        )
+
+    # ------------------------------------------------------------------
+    # Adaptation machinery
+    # ------------------------------------------------------------------
+    def _adaptation_directive(
+        self,
+        device_index: int,
+        device: NbIotDevice,
+        window_lo: int,
+        window_hi: int,
+        context: PlanningContext,
+    ) -> DeviceDirective:
+        """Build the DRX-adaptation directive for one device."""
+        schedule = device.schedule
+        adaptation_frame = schedule.last_before(window_lo)
+        if adaptation_frame is None:
+            raise PlanError(
+                f"device {device_index} has no PO before the window; "
+                "t must be at least 2 * maxDRX after the announce"
+            )
+        # The device is busy with the reconfiguration episode right after
+        # its adaptation PO; the adapted window PO must come later.
+        earliest_po = max(
+            window_lo,
+            adaptation_frame + context.adaptation_busy_frames(device) + 1,
+        )
+        adapted_cycle, window_po = self._choose_cycle(
+            device, adaptation_frame, earliest_po, window_hi
+        )
+        return DeviceDirective(
+            device_index=device_index,
+            transmission_index=0,
+            method=WakeMethod.DRX_ADAPTATION,
+            page_frame=window_po,
+            connect_frame=window_po,
+            adaptation_page_frame=adaptation_frame,
+            adapted_cycle=adapted_cycle,
+        )
+
+    def _choose_cycle(
+        self,
+        device: NbIotDevice,
+        adaptation_frame: int,
+        earliest_po: int,
+        window_hi: int,
+    ) -> Tuple[DrxCycle, int]:
+        """Pick the temporary cycle and the resulting window PO.
+
+        Scans the ladder downward from the device's own cycle and
+        returns the first (largest) cycle whose identity-derived grid
+        produces a PO inside ``[earliest_po, window_hi]``. Existence is
+        guaranteed: any cycle no longer than that span puts a PO in it,
+        and the span is the TI window minus the (much shorter)
+        adaptation episode.
+        """
+        usable_span = window_hi - earliest_po + 1
+        candidates: List[DrxCycle] = []
+        cycle = device.cycle
+        while True:
+            if int(cycle) < int(device.cycle):
+                candidates.append(cycle)
+            if int(cycle) == DrxCycle.MIN_FRAMES:
+                break
+            cycle = cycle.shorter()
+        if self._strategy is AdaptationStrategy.LARGEST_WITHIN_TI:
+            candidates = [c for c in candidates if int(c) <= usable_span]
+
+        for candidate in candidates:
+            grid = pattern_for(
+                device.drx.ue_id, candidate, device.drx.nb
+            ).schedule
+            po = grid.first_at_or_after(earliest_po)
+            if po <= window_hi:
+                return candidate, po
+        raise PlanError(
+            f"no ladder cycle creates a PO in [{earliest_po}, {window_hi}] "
+            f"for device with cycle {device.cycle!r}"
+        )

@@ -1,0 +1,124 @@
+"""DR-SI: DRX-Respecting, Standards-Incompliant grouping (paper Sec. III-C).
+
+Devices keep their preferred cycles (as in DR-SC) yet a single
+transmission suffices (as in DA-SC) — at the cost of protocol changes:
+
+* the eNB adds a non-critical extension (``mltc-transmission``) to the
+  paging message, carrying the device identity and the time remaining
+  until the multicast. The identity appears *only* in the extension,
+  not in the ``PagingRecordList``, so the device knows it is not being
+  paged for downlink data and **does not connect** — it just arms a new
+  timer (``T322``) for "a random time value between [t - TI, t)";
+* when T322 expires the device wakes, connects, and marks the
+  connection with the new establishment cause ``multicastReception``.
+
+Devices that naturally have a PO inside the window are paged normally
+at it — no extension needed for them.
+
+The random (rather than coordinated) wake time inside the window is the
+paper's design: it spreads the random-access load of the whole group
+over the TI window instead of synchronising a RACH stampede at t - TI.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.base import GroupingMechanism, PlanningContext
+from repro.core.plan import DeviceDirective, MulticastPlan, WakeMethod
+from repro.devices.fleet import Fleet
+from repro.errors import ConfigurationError, PlanError
+from repro.rrc.timers import T322Timer
+
+
+class DrSiMechanism(GroupingMechanism):
+    """Single-transmission grouping via extended paging + T322."""
+
+    name = "dr-si"
+    standards_compliant = False
+    respects_preferred_drx = True
+
+    def plan(
+        self,
+        fleet: Fleet,
+        context: PlanningContext,
+        rng: Optional[np.random.Generator] = None,
+    ) -> MulticastPlan:
+        """Plan the single transmission at t = announce + 2*maxDRX.
+
+        ``rng`` draws each notified device's uniform T322 expiry inside
+        the window; it is required because the random wake time is part
+        of the mechanism itself (not just tie-breaking).
+        """
+        if rng is None:
+            raise ConfigurationError(
+                "DR-SI needs an RNG: devices select a random wake time "
+                "within [t - TI, t)"
+            )
+        ti = context.inactivity_timer_frames
+        t = context.announce_frame + 2 * int(fleet.max_cycle)
+        window_lo = t - ti
+        window_hi = t - 1
+
+        directives: List[DeviceDirective] = []
+        for device_index, device in enumerate(fleet):
+            schedule = device.schedule
+            slack = context.connect_slack_frames(device)
+            last_window_po = schedule.last_at_or_before(window_hi)
+            if last_window_po is not None and last_window_po >= window_lo:
+                page_frame = self._page_frame_in_window(
+                    schedule, window_lo, window_hi, slack
+                )
+                directives.append(
+                    DeviceDirective(
+                        device_index=device_index,
+                        transmission_index=0,
+                        method=WakeMethod.PAGED_IN_WINDOW,
+                        page_frame=page_frame,
+                        connect_frame=page_frame,
+                    )
+                )
+                continue
+
+            # Extended page at the device's first PO after the announce:
+            # "notify the devices well in advance of the time of the
+            # multicast transmission".
+            page_frame = schedule.first_at_or_after(context.announce_frame)
+            if page_frame >= window_lo:
+                raise PlanError(
+                    f"device {device_index}: first PO {page_frame} already "
+                    "inside the window despite having no window PO"
+                )  # pragma: no cover - unreachable by construction
+            wake_frame = int(rng.integers(window_lo, window_hi + 1))
+            directives.append(
+                DeviceDirective(
+                    device_index=device_index,
+                    transmission_index=0,
+                    method=WakeMethod.EXTENDED_PAGE_TIMER,
+                    page_frame=page_frame,
+                    connect_frame=wake_frame,
+                    t322=T322Timer(
+                        armed_at_frame=page_frame, expires_at_frame=wake_frame
+                    ),
+                )
+            )
+
+        transmission = self._build_transmission(
+            index=0,
+            frame=t,
+            device_indices=list(range(len(fleet))),
+            fleet=fleet,
+            payload_bytes=context.payload_bytes,
+        )
+        return MulticastPlan(
+            mechanism=self.name,
+            standards_compliant=self.standards_compliant,
+            respects_preferred_drx=self.respects_preferred_drx,
+            announce_frame=context.announce_frame,
+            inactivity_timer_frames=ti,
+            payload_bytes=context.payload_bytes,
+            transmissions=(transmission,),
+            directives=tuple(directives),
+        )

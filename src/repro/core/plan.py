@@ -1,0 +1,370 @@
+"""Multicast plans: the contract between mechanisms and the executor.
+
+A :class:`MulticastPlan` is a complete, *checkable* description of a
+multicast campaign: when each transmission happens, which devices it
+serves at what bearer rate, and — per device — how the device is woken
+(normal page in the window, DA-SC adaptation, DR-SI extended page, or
+the unicast baseline's immediate page).
+
+``MulticastPlan.validate`` re-derives every claim against the fleet's
+actual paging schedules and raises :class:`~repro.errors.PlanError`
+on any inconsistency; every mechanism's output is validated in tests
+and property tests, so executor results can trust plan invariants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Optional, Tuple
+
+from repro.devices.fleet import Fleet
+from repro.drx.cycles import DrxCycle
+from repro.drx.paging import pattern_for
+from repro.drx.schedule import PoSchedule
+from repro.errors import CoverageError, PlanError
+from repro.rrc.timers import T322Timer
+from repro.timebase import frames_to_seconds
+
+
+class WakeMethod(Enum):
+    """How a device learns about / wakes up for its transmission."""
+
+    PAGED_IN_WINDOW = "paged_in_window"
+    """Paged at one of its own POs inside the transmission's TI-window
+    (DR-SC; DA-SC/DR-SI devices that happen to have a window PO)."""
+
+    DRX_ADAPTATION = "drx_adaptation"
+    """DA-SC: paged at the last PO before the window, reconfigured to a
+    shorter cycle, then paged again at the adapted PO inside the window."""
+
+    EXTENDED_PAGE_TIMER = "extended_page_timer"
+    """DR-SI: receives the ``mltc-transmission`` extension at a normal
+    PO, arms T322, and self-wakes inside the window."""
+
+    IMMEDIATE_PAGE = "immediate_page"
+    """Unicast baseline: paged at its first PO and served immediately."""
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """One scheduled multicast (or unicast) data transmission.
+
+    Attributes:
+        index: position in the plan's transmission tuple.
+        frame: nominal start frame (the last frame of the TI-window for
+            windowed mechanisms). The executor may push the actual start
+            slightly later so every group member is connected.
+        device_indices: fleet indices served by this transmission.
+        rate_bps: bearer rate (minimum over the group's capabilities).
+        duration_frames: payload airtime at the bearer rate.
+    """
+
+    index: int
+    frame: int
+    device_indices: Tuple[int, ...]
+    rate_bps: float
+    duration_frames: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise PlanError(f"transmission index must be >= 0, got {self.index}")
+        if self.frame < 0:
+            raise PlanError(f"transmission frame must be >= 0, got {self.frame}")
+        if not self.device_indices:
+            raise PlanError(f"transmission {self.index} serves no devices")
+        if len(set(self.device_indices)) != len(self.device_indices):
+            raise PlanError(f"transmission {self.index} lists a device twice")
+        if self.rate_bps <= 0:
+            raise PlanError(f"bearer rate must be positive, got {self.rate_bps}")
+        if self.duration_frames < 1:
+            raise PlanError(
+                f"duration must be >= 1 frame, got {self.duration_frames}"
+            )
+
+    @property
+    def group_size(self) -> int:
+        """Number of devices served."""
+        return len(self.device_indices)
+
+    @property
+    def end_frame(self) -> int:
+        """Nominal end frame (start + airtime)."""
+        return self.frame + self.duration_frames
+
+
+@dataclass(frozen=True)
+class DeviceDirective:
+    """Per-device wake-up instructions.
+
+    Attributes:
+        device_index: fleet index of the device.
+        transmission_index: which plan transmission serves it.
+        method: the wake method (see :class:`WakeMethod`).
+        page_frame: the PO at which the device hears its (final) page —
+            or, for DR-SI extended pages, the PO carrying the extension.
+        connect_frame: frame at which the device starts random access.
+        adaptation_page_frame: DA-SC only — the PO (under the preferred
+            cycle) where the device is paged for the reconfiguration;
+            "the adaptation happens in the last PO before t - TI".
+        adapted_cycle: DA-SC only — the temporary (shorter) cycle.
+        t322: DR-SI only — the armed wake-up timer.
+    """
+
+    device_index: int
+    transmission_index: int
+    method: WakeMethod
+    page_frame: int
+    connect_frame: int
+    adaptation_page_frame: Optional[int] = None
+    adapted_cycle: Optional[DrxCycle] = None
+    t322: Optional[T322Timer] = None
+
+    def __post_init__(self) -> None:
+        if self.device_index < 0:
+            raise PlanError(f"device index must be >= 0, got {self.device_index}")
+        if self.page_frame < 0:
+            raise PlanError(f"page frame must be >= 0, got {self.page_frame}")
+        if self.connect_frame < self.page_frame and self.method is not WakeMethod.DRX_ADAPTATION:
+            raise PlanError(
+                f"device {self.device_index} connects at {self.connect_frame} "
+                f"before its page at {self.page_frame}"
+            )
+        if self.method is WakeMethod.DRX_ADAPTATION:
+            if self.adaptation_page_frame is None or self.adapted_cycle is None:
+                raise PlanError(
+                    f"device {self.device_index}: DRX adaptation requires "
+                    "adaptation_page_frame and adapted_cycle"
+                )
+        else:
+            if self.adaptation_page_frame is not None or self.adapted_cycle is not None:
+                raise PlanError(
+                    f"device {self.device_index}: adaptation fields set for "
+                    f"non-adaptation method {self.method}"
+                )
+        if self.method is WakeMethod.EXTENDED_PAGE_TIMER and self.t322 is None:
+            raise PlanError(
+                f"device {self.device_index}: extended-page method requires T322"
+            )
+        if self.method is not WakeMethod.EXTENDED_PAGE_TIMER and self.t322 is not None:
+            raise PlanError(
+                f"device {self.device_index}: T322 set for method {self.method}"
+            )
+
+
+@dataclass(frozen=True)
+class MulticastPlan:
+    """A complete multicast campaign plan.
+
+    Attributes:
+        mechanism: name of the producing mechanism.
+        standards_compliant: True unless the plan needs protocol changes
+            (DR-SI's extended page / new establishment cause).
+        respects_preferred_drx: False only when cycles are temporarily
+            modified (DA-SC).
+        announce_frame: frame the multicast content became available.
+        inactivity_timer_frames: the TI used for the windows.
+        payload_bytes: multicast payload size.
+        transmissions: scheduled transmissions, ordered by frame.
+        directives: one directive per fleet device (any order).
+    """
+
+    mechanism: str
+    standards_compliant: bool
+    respects_preferred_drx: bool
+    announce_frame: int
+    inactivity_timer_frames: int
+    payload_bytes: int
+    transmissions: Tuple[Transmission, ...]
+    directives: Tuple[DeviceDirective, ...]
+
+    # ------------------------------------------------------------------
+    # Summaries
+    # ------------------------------------------------------------------
+    @property
+    def n_transmissions(self) -> int:
+        """Number of data transmissions (the paper's bandwidth proxy)."""
+        return len(self.transmissions)
+
+    @property
+    def campaign_end_frame(self) -> int:
+        """Nominal end of the campaign (last transmission's end)."""
+        return max(t.end_frame for t in self.transmissions)
+
+    @property
+    def campaign_duration_s(self) -> float:
+        """Nominal campaign duration in seconds, from the announce frame."""
+        return frames_to_seconds(self.campaign_end_frame - self.announce_frame)
+
+    def directive_for(self, device_index: int) -> DeviceDirective:
+        """The directive addressing ``device_index``."""
+        for directive in self.directives:
+            if directive.device_index == device_index:
+                return directive
+        raise PlanError(f"no directive for device {device_index}")
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, fleet: Fleet) -> None:
+        """Check the plan against the fleet's actual paging schedules.
+
+        Raises :class:`~repro.errors.PlanError` (or its subclass
+        :class:`~repro.errors.CoverageError`) on the first violation.
+        """
+        self._validate_coverage(fleet)
+        by_index = {t.index: t for t in self.transmissions}
+        if sorted(by_index) != list(range(len(self.transmissions))):
+            raise PlanError("transmission indices are not 0..k-1")
+        for directive in self.directives:
+            transmission = by_index.get(directive.transmission_index)
+            if transmission is None:
+                raise PlanError(
+                    f"device {directive.device_index} references missing "
+                    f"transmission {directive.transmission_index}"
+                )
+            self._validate_directive(fleet, directive, transmission)
+
+    def _validate_coverage(self, fleet: Fleet) -> None:
+        seen: Dict[int, int] = {}
+        for directive in self.directives:
+            if directive.device_index >= len(fleet):
+                raise PlanError(
+                    f"directive for device {directive.device_index} outside "
+                    f"fleet of {len(fleet)}"
+                )
+            if directive.device_index in seen:
+                raise CoverageError(
+                    f"device {directive.device_index} has multiple directives"
+                )
+            seen[directive.device_index] = directive.transmission_index
+        missing = set(range(len(fleet))) - set(seen)
+        if missing:
+            raise CoverageError(
+                f"{len(missing)} devices uncovered, e.g. {sorted(missing)[:5]}"
+            )
+        listed = {
+            i for t in self.transmissions for i in t.device_indices
+        }
+        if listed != set(seen):
+            raise CoverageError(
+                "transmission device lists disagree with directives"
+            )
+        for t in self.transmissions:
+            for i in t.device_indices:
+                if seen[i] != t.index:
+                    raise CoverageError(
+                        f"device {i} listed in transmission {t.index} but "
+                        f"directed to {seen[i]}"
+                    )
+
+    def _validate_directive(
+        self, fleet: Fleet, directive: DeviceDirective, transmission: Transmission
+    ) -> None:
+        device = fleet[directive.device_index]
+        ti = self.inactivity_timer_frames
+        # A device paged (or self-waking) at frame p can still be awake at
+        # the transmission frame F iff F - p <= TI. Both window
+        # conventions in the paper (DR-SC's [s, s+TI) with the
+        # transmission at s+TI-1, and DA-SC/DR-SI's [t - TI, t) with the
+        # transmission at t) satisfy this single invariant.
+        window_start = transmission.frame - ti
+        preferred = device.schedule
+
+        if directive.method is WakeMethod.IMMEDIATE_PAGE:
+            if not preferred.is_po(directive.page_frame):
+                raise PlanError(
+                    f"device {directive.device_index}: immediate page at "
+                    f"{directive.page_frame} is not a PO"
+                )
+            return
+
+        if directive.method is WakeMethod.PAGED_IN_WINDOW:
+            if not preferred.is_po(directive.page_frame):
+                raise PlanError(
+                    f"device {directive.device_index}: window page at "
+                    f"{directive.page_frame} is not a PO"
+                )
+            if not window_start <= directive.page_frame <= transmission.frame:
+                raise PlanError(
+                    f"device {directive.device_index}: page at "
+                    f"{directive.page_frame} outside window "
+                    f"[{window_start}, {transmission.frame}]"
+                )
+            return
+
+        if directive.method is WakeMethod.DRX_ADAPTATION:
+            self._validate_adaptation(fleet, directive, transmission, window_start)
+            return
+
+        if directive.method is WakeMethod.EXTENDED_PAGE_TIMER:
+            if not preferred.is_po(directive.page_frame):
+                raise PlanError(
+                    f"device {directive.device_index}: extended page at "
+                    f"{directive.page_frame} is not a PO"
+                )
+            timer = directive.t322
+            assert timer is not None  # guaranteed by DeviceDirective
+            if not window_start <= timer.expires_at_frame <= transmission.frame:
+                raise PlanError(
+                    f"device {directive.device_index}: T322 expiry "
+                    f"{timer.expires_at_frame} outside window "
+                    f"[{window_start}, {transmission.frame}]"
+                )
+            if directive.connect_frame != timer.expires_at_frame:
+                raise PlanError(
+                    f"device {directive.device_index}: connect frame "
+                    f"{directive.connect_frame} differs from T322 expiry"
+                )
+            return
+
+        raise PlanError(f"unknown wake method {directive.method}")  # pragma: no cover
+
+    def _validate_adaptation(
+        self,
+        fleet: Fleet,
+        directive: DeviceDirective,
+        transmission: Transmission,
+        window_start: int,
+    ) -> None:
+        device = fleet[directive.device_index]
+        preferred = device.schedule
+        adaptation_frame = directive.adaptation_page_frame
+        adapted_cycle = directive.adapted_cycle
+        assert adaptation_frame is not None and adapted_cycle is not None
+
+        if int(adapted_cycle) > int(device.cycle):
+            raise PlanError(
+                f"device {directive.device_index}: adapted cycle "
+                f"{adapted_cycle!r} longer than preferred {device.cycle!r}"
+            )
+        if not preferred.is_po(adaptation_frame):
+            raise PlanError(
+                f"device {directive.device_index}: adaptation page at "
+                f"{adaptation_frame} is not a preferred-cycle PO"
+            )
+        if adaptation_frame >= window_start:
+            raise PlanError(
+                f"device {directive.device_index}: adaptation at "
+                f"{adaptation_frame} not before the window start {window_start}"
+            )
+        # The adapted PO grid derives from the identity, like any grid.
+        adapted = pattern_for(
+            device.drx.ue_id, adapted_cycle, device.drx.nb
+        ).schedule
+        if not adapted.is_po(directive.page_frame):
+            raise PlanError(
+                f"device {directive.device_index}: window page at "
+                f"{directive.page_frame} is not on the adapted grid"
+            )
+        if not window_start <= directive.page_frame <= transmission.frame:
+            raise PlanError(
+                f"device {directive.device_index}: adapted page at "
+                f"{directive.page_frame} outside window "
+                f"[{window_start}, {transmission.frame}]"
+            )
+        if directive.page_frame <= adaptation_frame:
+            raise PlanError(
+                f"device {directive.device_index}: adapted page not after "
+                "the adaptation episode"
+            )

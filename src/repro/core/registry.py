@@ -1,0 +1,35 @@
+"""Mechanism registry.
+
+Maps mechanism names to factories so experiments, benchmarks and the
+CLI can select mechanisms by name.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.base import GroupingMechanism
+from repro.core.da_sc import DaScMechanism
+from repro.core.dr_sc import DrScMechanism
+from repro.core.dr_si import DrSiMechanism
+from repro.core.unicast import UnicastBaseline
+from repro.errors import ConfigurationError
+
+#: Factories for every built-in mechanism and baseline.
+MECHANISMS: Dict[str, Callable[[], GroupingMechanism]] = {
+    "dr-sc": DrScMechanism,
+    "da-sc": DaScMechanism,
+    "dr-si": DrSiMechanism,
+    "unicast": UnicastBaseline,
+}
+
+
+def mechanism_by_name(name: str) -> GroupingMechanism:
+    """Instantiate a mechanism by its registry name."""
+    try:
+        factory = MECHANISMS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mechanism {name!r}; available: {sorted(MECHANISMS)}"
+        ) from None
+    return factory()

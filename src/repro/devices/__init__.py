@@ -1,0 +1,22 @@
+"""NB-IoT device and fleet modelling.
+
+A device couples an identity (from which its paging occasions derive),
+a DRX configuration, a coverage class and a category. A
+:class:`~repro.devices.fleet.Fleet` is an immutable, indexable collection
+of devices exposing columnar NumPy views (phases, periods, coverage
+rates) that the vectorised planners operate on.
+"""
+
+from repro.devices.identity import DeviceIdentity
+from repro.devices.profiles import DeviceCategory
+from repro.devices.battery import Battery
+from repro.devices.device import NbIotDevice
+from repro.devices.fleet import Fleet
+
+__all__ = [
+    "DeviceIdentity",
+    "DeviceCategory",
+    "Battery",
+    "NbIotDevice",
+    "Fleet",
+]

@@ -1,0 +1,58 @@
+"""Battery model for lifetime estimates.
+
+NB-IoT devices are expected to last "more than 10 years on a single
+battery" (paper Sec. I). The model here converts a campaign's energy
+ledger plus a background duty cycle into battery-lifetime impact — used
+by the examples to put the mechanisms' energy overheads in perspective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Seconds per (Julian) year.
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An idealised primary cell.
+
+    Attributes:
+        capacity_mah: rated capacity in milliamp-hours.
+        voltage_v: nominal voltage.
+    """
+
+    capacity_mah: float = 5000.0
+    voltage_v: float = 3.6
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise ConfigurationError(
+                f"capacity must be positive, got {self.capacity_mah}"
+            )
+        if self.voltage_v <= 0:
+            raise ConfigurationError(f"voltage must be positive, got {self.voltage_v}")
+
+    @property
+    def capacity_mj(self) -> float:
+        """Total stored energy in millijoules."""
+        # mAh * V = mWh; 1 mWh = 3.6 J = 3600 mJ.
+        return self.capacity_mah * self.voltage_v * 3600.0
+
+    def lifetime_years(self, average_current_ma: float) -> float:
+        """Years the battery lasts at a constant average current draw."""
+        if average_current_ma <= 0:
+            raise ConfigurationError(
+                f"average current must be positive, got {average_current_ma}"
+            )
+        hours = self.capacity_mah / average_current_ma
+        return hours * 3600.0 / SECONDS_PER_YEAR
+
+    def fraction_consumed(self, energy_mj: float) -> float:
+        """Fraction of the battery consumed by ``energy_mj`` millijoules."""
+        if energy_mj < 0:
+            raise ConfigurationError(f"energy must be non-negative, got {energy_mj}")
+        return energy_mj / self.capacity_mj

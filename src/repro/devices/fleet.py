@@ -1,0 +1,121 @@
+"""The fleet: an immutable, indexable device collection with NumPy views.
+
+Grouping mechanisms address devices by fleet index (0..n-1). The fleet
+precomputes the columnar arrays (PO phases, periods, coverage rates)
+that the vectorised planners consume, so building a plan for a thousand
+devices is a handful of NumPy operations rather than a Python loop.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.device import NbIotDevice
+from repro.drx.cycles import DrxCycle
+from repro.errors import FleetError
+from repro.phy.coverage import PROFILES, CoverageClass
+
+
+class Fleet:
+    """An ordered, immutable collection of NB-IoT devices."""
+
+    def __init__(self, devices: Sequence[NbIotDevice]) -> None:
+        if not devices:
+            raise FleetError("a fleet must contain at least one device")
+        imsis = [d.identity.imsi for d in devices]
+        if len(set(imsis)) != len(imsis):
+            raise FleetError("fleet contains duplicate IMSIs")
+        self._devices: Tuple[NbIotDevice, ...] = tuple(devices)
+        self._phases = np.array(
+            [d.pattern.phase for d in self._devices], dtype=np.int64
+        )
+        self._periods = np.array(
+            [int(d.cycle) for d in self._devices], dtype=np.int64
+        )
+        self._rates = np.array(
+            [PROFILES[d.coverage].downlink_bps for d in self._devices],
+            dtype=np.float64,
+        )
+
+    # ------------------------------------------------------------------
+    # Collection protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __iter__(self) -> Iterator[NbIotDevice]:
+        return iter(self._devices)
+
+    def __getitem__(self, index: int) -> NbIotDevice:
+        return self._devices[index]
+
+    @property
+    def devices(self) -> Tuple[NbIotDevice, ...]:
+        """The devices in fleet order."""
+        return self._devices
+
+    # ------------------------------------------------------------------
+    # Columnar views (preferred-cycle paging schedules)
+    # ------------------------------------------------------------------
+    @property
+    def phases(self) -> np.ndarray:
+        """Per-device PO phase (frames), under the preferred cycle."""
+        return self._phases.copy()
+
+    @property
+    def periods(self) -> np.ndarray:
+        """Per-device PO period (frames), under the preferred cycle."""
+        return self._periods.copy()
+
+    @property
+    def downlink_rates_bps(self) -> np.ndarray:
+        """Per-device sustained downlink rate."""
+        return self._rates.copy()
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    @property
+    def max_cycle(self) -> DrxCycle:
+        """The longest preferred cycle in the fleet (the paper's maxDRX)."""
+        return DrxCycle(int(self._periods.max()))
+
+    @property
+    def min_cycle(self) -> DrxCycle:
+        """The shortest preferred cycle in the fleet."""
+        return DrxCycle(int(self._periods.min()))
+
+    @property
+    def coverages(self) -> List[CoverageClass]:
+        """Coverage class of every device, in fleet order."""
+        return [d.coverage for d in self._devices]
+
+    def group_rate_bps(self, indices: Sequence[int]) -> float:
+        """Multicast bearer rate for the device group ``indices``.
+
+        The bearer serves the worst device in the group (paper Sec. II-A),
+        so this is the minimum of the members' downlink rates.
+        """
+        if len(indices) == 0:
+            raise FleetError("cannot size a bearer for an empty group")
+        idx = self._validated_indices(indices)
+        return float(self._rates[idx].min())
+
+    def subset(self, indices: Sequence[int]) -> "Fleet":
+        """A new fleet containing only the devices at ``indices``."""
+        idx = self._validated_indices(indices)
+        return Fleet([self._devices[i] for i in idx])
+
+    def _validated_indices(self, indices: Sequence[int]) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= len(self)):
+            raise FleetError(
+                f"device index out of range [0, {len(self)}): {indices!r}"
+            )
+        return idx
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cycles = sorted({d.cycle.seconds for d in self._devices})
+        return f"Fleet(n={len(self)}, cycles={cycles})"

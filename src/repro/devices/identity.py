@@ -1,0 +1,43 @@
+"""Device identities.
+
+Paging in NB-IoT is keyed by a UE identity derived from the IMSI:
+``UE_ID = IMSI mod 4096`` (TS 36.304 for NB-IoT). Two devices with the
+same UE_ID and cycle share paging occasions — a real effect that the
+fleet generator reproduces by drawing IMSIs at random.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.drx.paging import UE_ID_SPACE
+from repro.errors import ConfigurationError
+
+#: IMSIs are at most 15 decimal digits.
+MAX_IMSI = 10**15 - 1
+
+
+@dataclass(frozen=True, order=True)
+class DeviceIdentity:
+    """An NB-IoT subscriber identity.
+
+    Attributes:
+        imsi: the International Mobile Subscriber Identity.
+    """
+
+    imsi: int
+
+    def __post_init__(self) -> None:
+        if not 0 < self.imsi <= MAX_IMSI:
+            raise ConfigurationError(
+                f"IMSI must be a positive integer of at most 15 digits, "
+                f"got {self.imsi}"
+            )
+
+    @property
+    def ue_id(self) -> int:
+        """The paging identity (IMSI mod 4096) used for PF/PO derivation."""
+        return self.imsi % UE_ID_SPACE
+
+    def __str__(self) -> str:
+        return f"imsi-{self.imsi:015d}"

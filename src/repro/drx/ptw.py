@@ -1,0 +1,121 @@
+"""Paging Time Windows (PTW) for eDRX.
+
+The core library collapses each eDRX cycle to a single paging occasion —
+the paper's model. Real Rel-13 eDRX opens a *paging time window* at the
+paging hyperframe: for ``ptw_length`` hyperframes the device monitors
+regular-DRX POs (so the network gets several chances to page it per
+eDRX cycle) and then sleeps until the next cycle.
+
+This module provides the refined schedule as an opt-in fidelity knob:
+``ptw_occasions`` expands a device's per-cycle PO singleton into the
+full in-window sequence, and ``ptw_monitor_uptime_s`` gives the
+light-sleep cost the paper's single-PO model underestimates. The
+``test_ptw`` suite pins the relationship between the two models
+(single-PO is exactly the ``ptw_length=1, single occasion`` case).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.drx.cycles import DrxCycle
+from repro.drx.paging import NB, paging_frame_offset
+from repro.drx.schedule import PoSchedule
+from repro.errors import ConfigurationError, DrxError
+from repro.timebase import FRAMES_PER_HYPERFRAME
+
+
+@dataclass(frozen=True)
+class PtwConfig:
+    """Paging-time-window parameters.
+
+    Attributes:
+        ptw_hyperframes: window length in hyperframes (1..16 per
+            TS 24.008's 2.56 s steps; 1 hyperframe = 10.24 s).
+        intra_ptw_cycle: the regular DRX cycle applied inside the window
+            (<= 1024 frames).
+    """
+
+    ptw_hyperframes: int = 1
+    intra_ptw_cycle: DrxCycle = DrxCycle(256)
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.ptw_hyperframes <= 16:
+            raise ConfigurationError(
+                f"PTW must span 1..16 hyperframes, got {self.ptw_hyperframes}"
+            )
+        if int(self.intra_ptw_cycle) > FRAMES_PER_HYPERFRAME:
+            raise DrxError(
+                "the intra-PTW cycle is a regular DRX cycle "
+                f"(<= {FRAMES_PER_HYPERFRAME} frames), got "
+                f"{self.intra_ptw_cycle!r}"
+            )
+
+    @property
+    def ptw_frames(self) -> int:
+        """Window length in frames."""
+        return self.ptw_hyperframes * FRAMES_PER_HYPERFRAME
+
+    @property
+    def occasions_per_window(self) -> int:
+        """POs the device monitors in each paging time window."""
+        return self.ptw_frames // int(self.intra_ptw_cycle)
+
+
+def ptw_occasions(
+    ue_id: int,
+    edrx_cycle: DrxCycle,
+    config: PtwConfig,
+    nb: NB = NB.ONE_T,
+    *,
+    n_cycles: int = 1,
+    start_frame: int = 0,
+) -> np.ndarray:
+    """All PO frames over ``n_cycles`` eDRX cycles under the PTW model.
+
+    The first PO of each window coincides with the single-PO model's
+    occasion, so the refined schedule is a strict superset.
+    """
+    if not edrx_cycle.is_edrx:
+        raise DrxError(f"{edrx_cycle!r} is not an eDRX cycle")
+    if n_cycles < 1:
+        raise ConfigurationError(f"n_cycles must be >= 1, got {n_cycles}")
+    if config.ptw_frames > int(edrx_cycle):
+        raise ConfigurationError(
+            "PTW longer than the eDRX cycle itself"
+        )
+    anchor = paging_frame_offset(ue_id, edrx_cycle, nb)
+    intra = PoSchedule(
+        phase=anchor % int(config.intra_ptw_cycle),
+        period=int(config.intra_ptw_cycle),
+    )
+    occasions: List[int] = []
+    for k in range(n_cycles):
+        window_start = start_frame + anchor + k * int(edrx_cycle)
+        window_end = window_start + config.ptw_frames
+        first = intra.first_at_or_after(window_start)
+        occasions.extend(range(first, window_end, intra.period))
+    return np.asarray(occasions, dtype=np.int64)
+
+
+def ptw_monitor_uptime_s(
+    edrx_cycle: DrxCycle,
+    config: PtwConfig,
+    observation_s: float,
+    po_monitor_s: float = 0.010,
+) -> float:
+    """Light-sleep monitoring uptime over a period, PTW model.
+
+    The single-PO model's equivalent is
+    ``observation_s / cycle.seconds * po_monitor_s``; the PTW model
+    multiplies it by the occasions per window.
+    """
+    if observation_s < 0:
+        raise ConfigurationError(
+            f"observation must be non-negative, got {observation_s}"
+        )
+    windows = observation_s / edrx_cycle.seconds
+    return windows * config.occasions_per_window * po_monitor_s

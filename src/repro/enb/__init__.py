@@ -1,0 +1,25 @@
+"""eNB-side substrate: cell configuration, paging channel, scheduler, bearers.
+
+The evolved NodeB (eNB) is the single coordinator in the paper's setting
+("a single eNB scenario serving a large number of NB-IoT devices",
+Sec. IV-A): it pages devices, adapts their DRX cycles, sets up the
+multicast bearer and transmits. This package models the cell-level
+resources those actions consume.
+"""
+
+from repro.enb.cell import CellConfig
+from repro.enb.paging_channel import PagingChannel, PagingLoadReport
+from repro.enb.scheduler import DownlinkScheduler, ScheduledTransmission, UtilizationReport
+from repro.enb.bearer import MulticastBearer
+from repro.enb.enb import ENodeB
+
+__all__ = [
+    "CellConfig",
+    "PagingChannel",
+    "PagingLoadReport",
+    "DownlinkScheduler",
+    "ScheduledTransmission",
+    "UtilizationReport",
+    "MulticastBearer",
+    "ENodeB",
+]

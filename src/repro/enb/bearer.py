@@ -1,0 +1,55 @@
+"""Multicast bearer sizing.
+
+In the on-demand scheme the joining procedure "is performed at the
+network side to set up a generic multicast bearer based on the
+capabilities of the devices that will use it" (paper Sec. II-A). The
+bearer must be decodable by every member, so its rate is the minimum of
+the members' sustained rates, and the transmission duration follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.phy.airtime import payload_airtime_frames, payload_airtime_seconds
+from repro.phy.coverage import CoverageClass
+from repro.phy import group_data_rate_bps
+
+
+@dataclass(frozen=True)
+class MulticastBearer:
+    """A multicast radio bearer for one device group.
+
+    Attributes:
+        rate_bps: the bearer's sustained downlink rate (minimum over the
+            group's coverage capabilities).
+        group_size: number of devices served.
+    """
+
+    rate_bps: float
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.rate_bps <= 0:
+            raise ConfigurationError(f"rate must be positive, got {self.rate_bps}")
+        if self.group_size < 1:
+            raise ConfigurationError(
+                f"group size must be >= 1, got {self.group_size}"
+            )
+
+    @classmethod
+    def for_group(cls, coverages: Sequence[CoverageClass]) -> "MulticastBearer":
+        """Size a bearer for the group with the given coverage classes."""
+        return cls(
+            rate_bps=group_data_rate_bps(coverages), group_size=len(coverages)
+        )
+
+    def airtime_frames(self, payload_bytes: int) -> int:
+        """Frames the bearer occupies to deliver ``payload_bytes``."""
+        return payload_airtime_frames(payload_bytes, self.rate_bps)
+
+    def airtime_seconds(self, payload_bytes: int) -> float:
+        """Seconds the bearer occupies to deliver ``payload_bytes``."""
+        return payload_airtime_seconds(payload_bytes, self.rate_bps)

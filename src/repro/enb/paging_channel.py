@@ -1,0 +1,130 @@
+"""Paging channel load accounting.
+
+A paging message is broadcast per paging occasion and carries at most
+``max_paging_records`` identities. When a grouping plan pages many
+devices, devices sharing a PO (same frame and subframe) compete for
+records. NB-IoT fleets rarely collide (4096 UE_ID values x 10
+subframes), but the channel still *accounts* for it: overflows are
+surfaced as an explicit report so a plan cannot silently assume
+infinite paging capacity.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import CapacityError
+from repro.rrc.messages import MulticastNotification, PagingMessage, PagingRecord
+
+
+@dataclass(frozen=True)
+class PagingLoadReport:
+    """Result of packing planned pages into paging messages.
+
+    Attributes:
+        messages: the built paging messages, ordered by frame.
+        occupied_occasions: number of distinct (frame, subframe) POs used.
+        max_records_in_message: worst-case records in a single message.
+        overflowed: (frame, subframe, ue_ids) tuples that exceeded
+            capacity; empty in healthy plans.
+    """
+
+    messages: Tuple[PagingMessage, ...]
+    occupied_occasions: int
+    max_records_in_message: int
+    overflowed: Tuple[Tuple[int, int, Tuple[int, ...]], ...] = ()
+
+    @property
+    def total_pages(self) -> int:
+        """Total paging records across all messages."""
+        return sum(len(m.records) for m in self.messages)
+
+    @property
+    def has_overflow(self) -> bool:
+        """True if any PO exceeded the record capacity."""
+        return bool(self.overflowed)
+
+
+class PagingChannel:
+    """Packs planned pages into per-PO paging messages under a capacity."""
+
+    def __init__(self, max_records: int = 16, *, strict: bool = False) -> None:
+        """``strict=True`` raises :class:`CapacityError` on overflow
+        instead of reporting it."""
+        if max_records < 1:
+            raise CapacityError(f"max_records must be >= 1, got {max_records}")
+        self._max_records = max_records
+        self._strict = strict
+
+    @property
+    def max_records(self) -> int:
+        """Record capacity of one paging message."""
+        return self._max_records
+
+    def pack(
+        self,
+        pages: Sequence[Tuple[int, int, int]],
+        notifications: Sequence[Tuple[int, int, MulticastNotification]] = (),
+    ) -> PagingLoadReport:
+        """Pack pages and DR-SI notifications into paging messages.
+
+        Args:
+            pages: (frame, subframe, ue_id) triples — standard paging
+                records addressed at that PO.
+            notifications: (frame, subframe, notification) triples — DR-SI
+                ``mltc-transmission`` extension entries.
+
+        Returns:
+            A :class:`PagingLoadReport`; in ``strict`` mode overflow
+            raises :class:`~repro.errors.CapacityError` instead.
+        """
+        by_po: Dict[Tuple[int, int], List[int]] = defaultdict(list)
+        for frame, subframe, ue_id in pages:
+            by_po[(frame, subframe)].append(ue_id)
+        notif_by_po: Dict[Tuple[int, int], List[MulticastNotification]] = defaultdict(list)
+        for frame, subframe, notification in notifications:
+            notif_by_po[(frame, subframe)].append(notification)
+
+        messages: List[PagingMessage] = []
+        overflowed: List[Tuple[int, int, Tuple[int, ...]]] = []
+        max_in_message = 0
+        all_pos = sorted(set(by_po) | set(notif_by_po))
+        for po in all_pos:
+            frame, subframe = po
+            ue_ids = sorted(set(by_po.get(po, [])))
+            kept, spilled = ue_ids[: self._max_records], ue_ids[self._max_records :]
+            if spilled:
+                if self._strict:
+                    raise CapacityError(
+                        f"PO (frame={frame}, sf={subframe}) needs "
+                        f"{len(ue_ids)} records > capacity {self._max_records}"
+                    )
+                overflowed.append((frame, subframe, tuple(spilled)))
+            max_in_message = max(max_in_message, len(kept))
+            # Paging is identity-addressed: devices sharing a UE_ID are
+            # served by a single record/notification (they all react to
+            # it). A UE_ID that is both paged and notified at the same PO
+            # keeps only the paging record — the record already wakes the
+            # device, and the ASN.1 forbids the id appearing in both.
+            notifications_here = []
+            seen_notified = set(kept)
+            for notification in notif_by_po.get(po, []):
+                if notification.ue_id in seen_notified:
+                    continue
+                seen_notified.add(notification.ue_id)
+                notifications_here.append(notification)
+            messages.append(
+                PagingMessage(
+                    frame=frame,
+                    records=tuple(PagingRecord(u) for u in kept),
+                    mltc_transmission=tuple(notifications_here),
+                )
+            )
+        return PagingLoadReport(
+            messages=tuple(messages),
+            occupied_occasions=len(all_pos),
+            max_records_in_message=max_in_message,
+            overflowed=tuple(overflowed),
+        )

@@ -1,0 +1,133 @@
+"""Uptime and energy ledgers.
+
+A :class:`UptimeLedger` accumulates (state, duration) contributions for a
+single device over a campaign and produces the split the paper's Fig. 6
+plots: light-sleep uptime vs connected-mode uptime. Ledgers add
+componentwise, so fleet totals are ``sum(ledgers, UptimeLedger())``-style
+reductions done by the metrics layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.energy.states import STATE_GROUPS, PowerState, StateGroup
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class UptimeTotals:
+    """The paper's uptime split, in seconds.
+
+    ``light_sleep_s`` is time in PO monitoring / paging reception;
+    ``connected_s`` is time in random access, signalling, waiting and
+    data reception; ``sleep_s`` completes the timeline but is *not*
+    uptime.
+    """
+
+    light_sleep_s: float
+    connected_s: float
+    sleep_s: float = 0.0
+
+    @property
+    def uptime_s(self) -> float:
+        """Total uptime (light sleep + connected)."""
+        return self.light_sleep_s + self.connected_s
+
+    def relative_increase_over(self, baseline: "UptimeTotals") -> "RelativeIncrease":
+        """Relative uptime increase of ``self`` over ``baseline``.
+
+        This is the quantity Fig. 6 plots: ``(x - x_unicast) / x_unicast``
+        per mode. A zero baseline component with a zero numerator yields
+        0.0 (no increase); a zero baseline with a positive numerator is
+        reported as ``float('inf')``.
+        """
+        return RelativeIncrease(
+            light_sleep=_relative(self.light_sleep_s, baseline.light_sleep_s),
+            connected=_relative(self.connected_s, baseline.connected_s),
+        )
+
+
+@dataclass(frozen=True)
+class RelativeIncrease:
+    """Fractional increase vs a baseline (0.05 == +5 %)."""
+
+    light_sleep: float
+    connected: float
+
+
+def _relative(value: float, base: float) -> float:
+    delta = value - base
+    if base > 0:
+        return delta / base
+    if abs(delta) < 1e-12:
+        return 0.0
+    return float("inf")
+
+
+class UptimeLedger:
+    """Mutable per-device accumulator of time spent in each power state."""
+
+    __slots__ = ("_seconds",)
+
+    def __init__(self, seconds: Optional[Mapping[PowerState, float]] = None) -> None:
+        self._seconds: Dict[PowerState, float] = {state: 0.0 for state in PowerState}
+        if seconds:
+            for state, value in seconds.items():
+                self.add(state, value)
+
+    def add(self, state: PowerState, seconds: float) -> None:
+        """Accumulate ``seconds`` of time spent in ``state``."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"cannot add negative duration {seconds} for {state}"
+            )
+        self._seconds[state] += seconds
+
+    def seconds_in(self, state: PowerState) -> float:
+        """Total seconds recorded in ``state``."""
+        return self._seconds[state]
+
+    def group_seconds(self, group: StateGroup) -> float:
+        """Total seconds across all states in ``group``."""
+        return sum(
+            value
+            for state, value in self._seconds.items()
+            if STATE_GROUPS[state] is group
+        )
+
+    @property
+    def totals(self) -> UptimeTotals:
+        """The paper's uptime split for this device."""
+        return UptimeTotals(
+            light_sleep_s=self.group_seconds(StateGroup.LIGHT_SLEEP),
+            connected_s=self.group_seconds(StateGroup.CONNECTED),
+            sleep_s=self.group_seconds(StateGroup.SLEEP),
+        )
+
+    def energy_mj(self, profile: EnergyProfile = DEFAULT_PROFILE) -> float:
+        """Total energy in millijoules under ``profile``."""
+        return sum(
+            profile.energy_mj(state, seconds)
+            for state, seconds in self._seconds.items()
+        )
+
+    def merged_with(self, other: "UptimeLedger") -> "UptimeLedger":
+        """A new ledger holding the componentwise sum of both ledgers."""
+        merged = UptimeLedger()
+        for state in PowerState:
+            merged.add(state, self.seconds_in(state) + other.seconds_in(state))
+        return merged
+
+    def as_dict(self) -> Dict[PowerState, float]:
+        """Copy of the per-state seconds (for reporting/serialisation)."""
+        return dict(self._seconds)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        totals = self.totals
+        return (
+            f"UptimeLedger(light={totals.light_sleep_s:.3f}s, "
+            f"connected={totals.connected_s:.3f}s)"
+        )

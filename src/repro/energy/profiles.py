@@ -1,0 +1,76 @@
+"""Current-draw profiles for converting uptime into energy.
+
+The values below are representative of commercial NB-IoT modules
+(3GPP TR 45.820 evaluation assumptions and Quectel/u-blox class
+datasheets): microamp deep sleep, tens of milliamps while the receiver
+is on, over a hundred while transmitting. The paper's conclusions only
+need the *order-of-magnitude* gap between light sleep and connected mode
+(its refs [12, 13]), which all of these profiles preserve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.energy.states import PowerState
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EnergyProfile:
+    """Average current draw per power state, at a fixed supply voltage.
+
+    Attributes:
+        name: human-readable profile label.
+        voltage_v: supply voltage used for the energy conversion.
+        current_ma: average current per :class:`PowerState`, in mA.
+    """
+
+    name: str
+    voltage_v: float
+    current_ma: Dict[PowerState, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.voltage_v <= 0:
+            raise ConfigurationError(f"voltage must be positive, got {self.voltage_v}")
+        missing = [s for s in PowerState if s not in self.current_ma]
+        if missing:
+            raise ConfigurationError(
+                f"profile {self.name!r} missing currents for {missing}"
+            )
+        negative = {s: v for s, v in self.current_ma.items() if v < 0}
+        if negative:
+            raise ConfigurationError(
+                f"profile {self.name!r} has negative currents: {negative}"
+            )
+
+    def power_mw(self, state: PowerState) -> float:
+        """Average power draw in ``state``, in milliwatts."""
+        return self.current_ma[state] * self.voltage_v
+
+    def energy_mj(self, state: PowerState, seconds: float) -> float:
+        """Energy spent in ``state`` for ``seconds``, in millijoules."""
+        if seconds < 0:
+            raise ConfigurationError(f"duration must be non-negative, got {seconds}")
+        return self.power_mw(state) * seconds
+
+
+#: A representative commercial NB-IoT module (TR 45.820 / datasheet class).
+REPRESENTATIVE_MODULE = EnergyProfile(
+    name="representative-nbiot-module",
+    voltage_v=3.6,
+    current_ma={
+        PowerState.DEEP_SLEEP: 0.003,  # PSM-like deep sleep: ~3 uA
+        PowerState.PO_MONITOR: 12.0,  # receiver warm-up + NPDCCH decode
+        PowerState.PAGING_RX: 46.0,  # full paging TB reception
+        PowerState.RANDOM_ACCESS: 120.0,  # preamble TX dominates
+        PowerState.RRC_SIGNALLING: 90.0,  # mixed RX/TX signalling
+        PowerState.CONNECTED_WAIT: 8.0,  # connected DRX between grants
+        PowerState.CONNECTED_RX: 46.0,  # NPDSCH reception
+        PowerState.CONNECTED_TX: 220.0,  # NPUSCH at high output power
+    },
+)
+
+#: Profile used by default everywhere.
+DEFAULT_PROFILE = REPRESENTATIVE_MODULE

@@ -1,0 +1,67 @@
+"""Power states of an NB-IoT device and their grouping.
+
+The paper's uptime metric distinguishes two groups (Sec. IV-A):
+
+* **light sleep** — "uptime spent in light sleep mode (during the PO)":
+  monitoring paging occasions and receiving paging messages;
+* **connected** — "the active mode (during connection)": the random
+  access process, waiting for the multicast transmission to begin, and
+  receiving data.
+
+Deep sleep is tracked too (it completes the timeline) but contributes to
+neither uptime figure, matching the paper's definition of uptime.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict
+
+
+class PowerState(Enum):
+    """Radio power states of an NB-IoT device."""
+
+    DEEP_SLEEP = "deep_sleep"
+    """RF and TX modules off between paging occasions."""
+
+    PO_MONITOR = "po_monitor"
+    """Light sleep: listening to a paging occasion with no page addressed."""
+
+    PAGING_RX = "paging_rx"
+    """Light sleep: receiving a paging message addressed to this device."""
+
+    RANDOM_ACCESS = "random_access"
+    """Connected: NPRACH preamble, RAR, Msg3/Msg4 exchange."""
+
+    RRC_SIGNALLING = "rrc_signalling"
+    """Connected: RRC setup/reconfiguration/release exchanges."""
+
+    CONNECTED_WAIT = "connected_wait"
+    """Connected: RRC-connected, waiting for the multicast to begin."""
+
+    CONNECTED_RX = "connected_rx"
+    """Connected: receiving downlink (multicast or unicast) data."""
+
+    CONNECTED_TX = "connected_tx"
+    """Connected: uplink transmission (acknowledgements, reports)."""
+
+
+class StateGroup(Enum):
+    """The paper's two uptime groups plus the no-uptime sleep group."""
+
+    SLEEP = "sleep"
+    LIGHT_SLEEP = "light_sleep"
+    CONNECTED = "connected"
+
+
+#: Mapping from each power state to its uptime group.
+STATE_GROUPS: Dict[PowerState, StateGroup] = {
+    PowerState.DEEP_SLEEP: StateGroup.SLEEP,
+    PowerState.PO_MONITOR: StateGroup.LIGHT_SLEEP,
+    PowerState.PAGING_RX: StateGroup.LIGHT_SLEEP,
+    PowerState.RANDOM_ACCESS: StateGroup.CONNECTED,
+    PowerState.RRC_SIGNALLING: StateGroup.CONNECTED,
+    PowerState.CONNECTED_WAIT: StateGroup.CONNECTED,
+    PowerState.CONNECTED_RX: StateGroup.CONNECTED,
+    PowerState.CONNECTED_TX: StateGroup.CONNECTED,
+}

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except``
+clause, while still being able to discriminate on the specific subclass.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "TimebaseError",
+    "DrxError",
+    "LadderError",
+    "PagingError",
+    "FleetError",
+    "PlanError",
+    "CoverageError",
+    "SimulationError",
+    "CapacityError",
+    "SetCoverError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """An invalid parameter or parameter combination was supplied."""
+
+
+class TimebaseError(ReproError, ValueError):
+    """Invalid frame/subframe arithmetic (negative durations, bad units)."""
+
+
+class DrxError(ReproError, ValueError):
+    """Invalid DRX configuration or cycle operation."""
+
+
+class LadderError(DrxError):
+    """A cycle length is not on the power-of-two DRX ladder."""
+
+
+class PagingError(ReproError, ValueError):
+    """Invalid paging occasion computation or paging schedule."""
+
+
+class FleetError(ReproError, ValueError):
+    """Invalid fleet construction or device lookup."""
+
+
+class PlanError(ReproError, ValueError):
+    """A multicast plan failed validation (uncovered device, illegal PO...)."""
+
+
+class CoverageError(PlanError):
+    """A plan left at least one device without a scheduled transmission."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class CapacityError(ReproError, RuntimeError):
+    """A channel (e.g. the paging channel) exceeded its configured capacity."""
+
+
+class SetCoverError(ReproError, ValueError):
+    """Invalid set-cover instance (empty universe member, unsolvable...)."""

@@ -1,0 +1,30 @@
+"""Experiment harness reproducing the paper's evaluation (Sec. IV).
+
+One module per figure:
+
+* :mod:`repro.experiments.uptime` — Fig. 6(a) light-sleep and Fig. 6(b)
+  connected-mode relative uptime increases vs unicast;
+* :mod:`repro.experiments.transmissions` — Fig. 7 DR-SC multicast
+  transmission counts vs fleet size;
+* :mod:`repro.experiments.ablations` — the extension studies indexed in
+  DESIGN.md (DA-SC strategy, TI sensitivity, mixtures, set-cover
+  quality).
+
+``python -m repro figures --figure 6a|6b|7|all`` regenerates everything
+from the command line; the benchmarks under ``benchmarks/`` wrap the
+same entry points.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import Table, render_table
+from repro.experiments.uptime import run_fig6a, run_fig6b
+from repro.experiments.transmissions import run_fig7
+
+__all__ = [
+    "ExperimentConfig",
+    "Table",
+    "render_table",
+    "run_fig6a",
+    "run_fig6b",
+    "run_fig7",
+]

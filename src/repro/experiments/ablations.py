@@ -1,0 +1,287 @@
+"""Extension / ablation experiments (DESIGN.md A1-A5).
+
+These probe the design choices the paper fixes silently: the DA-SC
+cycle-selection strategy, the inactivity-timer setting, the fleet
+mixture, the greedy set cover's distance from optimal, and the standing
+cost of the SC-PTM alternative.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import AdaptationStrategy, DaScMechanism, DrScMechanism
+from repro.core.plan import WakeMethod
+from repro.drx.paging import pattern_for
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import Table, percent
+from repro.experiments.uptime import compare_mechanisms_once
+from repro.multicast.scptm import ScPtmConfig, scptm_monitoring_overhead_s
+from repro.setcover.exact import exact_min_window_cover
+from repro.setcover.greedy import greedy_window_cover
+from repro.sim.executor import CampaignExecutor
+from repro.sim.montecarlo import MonteCarlo, RunStatistics
+from repro.timebase import seconds_to_frames
+from repro.traffic.generator import generate_fleet
+from repro.traffic.mixtures import (
+    LONG_EDRX_MIXTURE,
+    MODERATE_EDRX_MIXTURE,
+    PAPER_DEFAULT_MIXTURE,
+    SHORT_EDRX_MIXTURE,
+    TrafficMixture,
+)
+
+
+# ----------------------------------------------------------------------
+# A1: DA-SC adaptation strategy
+# ----------------------------------------------------------------------
+def dasc_strategy_once(
+    rng: np.random.Generator, config: ExperimentConfig
+) -> Dict[str, float]:
+    """Compare the two DA-SC cycle-selection strategies on one fleet."""
+    fleet = generate_fleet(config.n_devices, config.mixture, rng)
+    context = config.planning_context(config.default_payload)
+    executor = CampaignExecutor(timings=config.timings)
+    metrics: Dict[str, float] = {}
+    for strategy in AdaptationStrategy:
+        plan = DaScMechanism(strategy).plan(fleet, context, rng)
+        adapted = [
+            d for d in plan.directives if d.method is WakeMethod.DRX_ADAPTATION
+        ]
+        extra_pos = 0
+        for directive in adapted:
+            device = fleet[directive.device_index]
+            grid = pattern_for(
+                device.drx.ue_id, directive.adapted_cycle, device.drx.nb
+            ).schedule
+            extra_pos += grid.count_in(
+                directive.adaptation_page_frame + 1, directive.page_frame
+            )
+        result = executor.execute(fleet, plan)
+        light = result.fleet.light_sleep_s
+        metrics[f"{strategy.value}/adapted_devices"] = float(len(adapted))
+        metrics[f"{strategy.value}/intermediate_pos"] = float(extra_pos)
+        metrics[f"{strategy.value}/light_sleep_s"] = light
+        metrics[f"{strategy.value}/mean_adapted_cycle_s"] = float(
+            np.mean([d.adapted_cycle.seconds for d in adapted])
+        ) if adapted else 0.0
+    return metrics
+
+
+def run_dasc_strategy_ablation(
+    config: ExperimentConfig = ExperimentConfig(),
+) -> Tuple[Table, Dict[str, RunStatistics]]:
+    """A1: paper's max-cycle selection vs the naive TI-sized fallback."""
+    harness = MonteCarlo(n_runs=config.n_runs, seed=config.seed)
+    stats = harness.run(lambda rng, _run: dasc_strategy_once(rng, config))
+    rows = []
+    for strategy in AdaptationStrategy:
+        key = strategy.value
+        rows.append(
+            (
+                key,
+                f"{stats[f'{key}/adapted_devices'].mean:.0f}",
+                f"{stats[f'{key}/mean_adapted_cycle_s'].mean:.1f}s",
+                f"{stats[f'{key}/intermediate_pos'].mean:.0f}",
+                f"{stats[f'{key}/light_sleep_s'].mean:.1f}s",
+            )
+        )
+    table = Table(
+        title=(
+            f"A1 — DA-SC adaptation strategies "
+            f"(n={config.n_devices}, {config.n_runs} runs)"
+        ),
+        headers=(
+            "strategy",
+            "adapted devices",
+            "mean adapted cycle",
+            "extra wake-ups",
+            "fleet light sleep",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "The paper's 'maximum cycle with a window PO' is provably the "
+            "minimum-wake-up choice (PO grids nest); the naive largest-"
+            "within-TI fallback shortens cycles further than necessary.",
+        ),
+    )
+    return table, stats
+
+
+# ----------------------------------------------------------------------
+# A2: inactivity timer sensitivity
+# ----------------------------------------------------------------------
+def run_ti_sensitivity(
+    config: ExperimentConfig = ExperimentConfig(),
+    ti_values_s: Sequence[float] = (10.24, 20.48, 30.72),
+) -> Tuple[Table, Dict[float, Dict[str, RunStatistics]]]:
+    """A2: DR-SC transmission count vs the inactivity timer TI."""
+    from dataclasses import replace
+
+    per_ti: Dict[float, Dict[str, RunStatistics]] = {}
+    rows = []
+    for ti in ti_values_s:
+        cfg = replace(config, inactivity_timer_s=ti)
+        harness = MonteCarlo(n_runs=cfg.n_runs, seed=cfg.seed)
+
+        def once(rng: np.random.Generator, _run: int) -> Dict[str, float]:
+            fleet = generate_fleet(cfg.n_devices, cfg.mixture, rng)
+            plan = DrScMechanism().plan(
+                fleet, cfg.planning_context(cfg.default_payload), rng
+            )
+            return {
+                "transmissions": float(plan.n_transmissions),
+                "fraction": plan.n_transmissions / len(fleet),
+            }
+
+        stats = harness.run(once)
+        per_ti[ti] = stats
+        rows.append(
+            (
+                f"{ti:.2f}s",
+                f"{stats['transmissions'].mean:.1f}",
+                f"{stats['fraction'].mean * 100:.0f}%",
+            )
+        )
+    table = Table(
+        title=(
+            f"A2 — DR-SC transmissions vs inactivity timer "
+            f"(n={config.n_devices}, {config.n_runs} runs)"
+        ),
+        headers=("TI", "mean transmissions", "% of unicast"),
+        rows=tuple(rows),
+        notes=(
+            "Longer inactivity timers widen the grouping windows, so fewer "
+            "transmissions are needed — at the price of devices idling "
+            "longer in connected mode (TI/2 expected wait).",
+        ),
+    )
+    return table, per_ti
+
+
+# ----------------------------------------------------------------------
+# A4: mixture sensitivity
+# ----------------------------------------------------------------------
+def run_mixture_sensitivity(
+    config: ExperimentConfig = ExperimentConfig(),
+    mixtures: Sequence[TrafficMixture] = (
+        SHORT_EDRX_MIXTURE,
+        MODERATE_EDRX_MIXTURE,
+        LONG_EDRX_MIXTURE,
+        PAPER_DEFAULT_MIXTURE,
+    ),
+) -> Tuple[Table, Dict[str, Dict[str, RunStatistics]]]:
+    """A4: how the DRX mixture drives DR-SC's transmission count."""
+    from dataclasses import replace
+
+    per_mix: Dict[str, Dict[str, RunStatistics]] = {}
+    rows = []
+    for mixture in mixtures:
+        cfg = replace(config, mixture=mixture)
+        harness = MonteCarlo(n_runs=cfg.n_runs, seed=cfg.seed)
+
+        def once(rng: np.random.Generator, _run: int) -> Dict[str, float]:
+            fleet = generate_fleet(cfg.n_devices, cfg.mixture, rng)
+            plan = DrScMechanism().plan(
+                fleet, cfg.planning_context(cfg.default_payload), rng
+            )
+            return {"fraction": plan.n_transmissions / len(fleet)}
+
+        stats = harness.run(once)
+        per_mix[mixture.name] = stats
+        rows.append((mixture.name, f"{stats['fraction'].mean * 100:.0f}%"))
+    table = Table(
+        title=(
+            f"A4 — DR-SC transmission ratio vs fleet mixture "
+            f"(n={config.n_devices}, {config.n_runs} runs)"
+        ),
+        headers=("mixture", "transmissions as % of unicast"),
+        rows=tuple(rows),
+        notes=(
+            "Short-cycle fleets pack into few windows; long-eDRX fleets "
+            "approach one transmission per device — the paper's Fig. 7 "
+            "regime sits between the extremes.",
+        ),
+    )
+    return table, per_mix
+
+
+# ----------------------------------------------------------------------
+# A3: greedy vs exact set cover
+# ----------------------------------------------------------------------
+def run_setcover_quality(
+    n_devices: int = 12,
+    n_runs: int = 30,
+    seed: int = 7,
+    mixture: TrafficMixture = MODERATE_EDRX_MIXTURE,
+    inactivity_timer_s: float = 20.48,
+) -> Tuple[Table, Dict[str, RunStatistics]]:
+    """A3: greedy cover size vs the exact optimum on small instances."""
+    ti = seconds_to_frames(inactivity_timer_s)
+    harness = MonteCarlo(n_runs=n_runs, seed=seed)
+
+    def once(rng: np.random.Generator, _run: int) -> Dict[str, float]:
+        fleet = generate_fleet(n_devices, mixture, rng)
+        horizon = 2 * int(fleet.periods.max())
+        greedy = greedy_window_cover(
+            fleet.phases, fleet.periods, ti, 0, horizon, rng
+        )
+        optimal, _frames = exact_min_window_cover(
+            fleet.phases, fleet.periods, ti, 0, horizon
+        )
+        return {
+            "greedy": float(greedy.n_transmissions),
+            "optimal": float(optimal),
+            "ratio": greedy.n_transmissions / optimal,
+        }
+
+    stats = harness.run(once)
+    table = Table(
+        title=f"A3 — greedy vs exact set cover (n={n_devices}, {n_runs} runs)",
+        headers=("solver", "mean transmissions"),
+        rows=(
+            ("greedy (Chvatal)", f"{stats['greedy'].mean:.2f}"),
+            ("exact (branch & bound)", f"{stats['optimal'].mean:.2f}"),
+            ("mean ratio", f"{stats['ratio'].mean:.3f}"),
+        ),
+        notes=(
+            "Chvatal guarantees a ln(n) factor; on these geometric window "
+            "instances the greedy is near-optimal in practice.",
+        ),
+    )
+    return table, stats
+
+
+# ----------------------------------------------------------------------
+# A5: SC-PTM standing monitoring cost
+# ----------------------------------------------------------------------
+def run_scptm_comparison(
+    observation_days: float = 365.0,
+    config: ScPtmConfig = ScPtmConfig(),
+) -> Table:
+    """A5: SC-PTM's standing SC-MCCH monitoring vs on-demand paging."""
+    seconds = observation_days * 86400.0
+    overhead = scptm_monitoring_overhead_s(seconds, config)
+    rows = (
+        (
+            "SC-PTM",
+            f"{overhead:.0f}s over {observation_days:.0f} days",
+            "periodic SC-MCCH checks whether or not data exists",
+        ),
+        (
+            "on-demand [3] + grouping",
+            "0s",
+            "devices learn about sessions via pages at POs they already monitor",
+        ),
+    )
+    return Table(
+        title="A5 — standing multicast-discovery overhead per device",
+        headers=("scheme", "extra light-sleep uptime", "why"),
+        rows=rows,
+        notes=(
+            f"SC-MCCH period {config.mcch_repetition_period_s:.2f}s, "
+            f"{config.mcch_monitor_s * 1000:.0f}ms per check.",
+        ),
+    )

@@ -1,0 +1,118 @@
+"""ASCII chart rendering for terminal figure output.
+
+The paper's artefacts are a bar chart (Fig. 6) and a line chart
+(Fig. 7); these renderers make ``python -m repro figures`` output look
+like the figures, not just tables. Pure text — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Width of the plot area in characters.
+_PLOT_WIDTH = 50
+
+
+def bar_chart(
+    title: str,
+    values: Mapping[str, float],
+    *,
+    unit: str = "",
+    width: int = _PLOT_WIDTH,
+) -> str:
+    """Horizontal bar chart with proportional bars.
+
+    Negative values render as a single ``|`` at zero (the chart is for
+    relative increases, where tiny negatives mean "no increase").
+    """
+    if not values:
+        raise ConfigurationError("bar chart needs at least one value")
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    peak = max(max(values.values()), 0.0)
+    label_width = max(len(label) for label in values)
+    lines = [title, "-" * len(title)]
+    for label, value in values.items():
+        if peak > 0 and value > 0:
+            filled = max(1, round(value / peak * width))
+        else:
+            filled = 0
+        bar = "#" * filled
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:.3g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    title: str,
+    points: Sequence[Tuple[float, float]],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    height: int = 12,
+    width: int = _PLOT_WIDTH,
+) -> str:
+    """A scatter/line chart on a character grid.
+
+    Points are plotted with ``*``; the y-axis is labelled with its
+    min/max, the x-axis with first/last.
+    """
+    if len(points) < 2:
+        raise ConfigurationError("line chart needs at least two points")
+    if height < 3 or width < 10:
+        raise ConfigurationError("chart too small to draw")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo or y_hi == y_lo:
+        y_hi = y_lo + 1.0 if y_hi == y_lo else y_hi
+        x_hi = x_lo + 1.0 if x_hi == x_lo else x_hi
+
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    y_hi_label = f"{y_hi:g}"
+    y_lo_label = f"{y_lo:g}"
+    margin = max(len(y_hi_label), len(y_lo_label))
+    lines = [title, "-" * len(title)]
+    for i, row_cells in enumerate(grid):
+        if i == 0:
+            prefix = y_hi_label.rjust(margin)
+        elif i == height - 1:
+            prefix = y_lo_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix} |{''.join(row_cells)}|")
+    lines.append(f"{' ' * margin} +{'-' * width}+")
+    x_axis = f"{x_lo:g}".ljust(width - len(f"{x_hi:g}")) + f"{x_hi:g}"
+    lines.append(f"{' ' * margin}  {x_axis}")
+    lines.append(f"{' ' * margin}  {x_label} -> ({y_label} vertical)")
+    return "\n".join(lines)
+
+
+def fig7_chart(per_n: Dict[int, float]) -> str:
+    """Fig. 7 as an ASCII line chart (transmissions vs devices)."""
+    points = sorted(per_n.items())
+    return line_chart(
+        "Fig. 7 — DR-SC multicast transmissions vs fleet size",
+        [(float(n), float(v)) for n, v in points],
+        x_label="devices",
+        y_label="transmissions",
+    )
+
+
+def fig6_chart(per_mechanism: Mapping[str, float], panel: str) -> str:
+    """One Fig. 6 panel as an ASCII bar chart (values are fractions)."""
+    return bar_chart(
+        f"Fig. 6({panel}) — relative uptime increase vs unicast",
+        {name.upper(): value * 100 for name, value in per_mechanism.items()},
+        unit="%",
+    )

@@ -1,0 +1,72 @@
+"""Experiment configuration: the paper's parameters in one place."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.core.base import PlanningContext
+from repro.enb.cell import CellConfig
+from repro.errors import ConfigurationError
+from repro.rrc.procedures import ProcedureTimings
+from repro.timebase import KILOBYTE, MEGABYTE, seconds_to_frames
+from repro.traffic.mixtures import PAPER_DEFAULT_MIXTURE, TrafficMixture
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters shared by the figure experiments.
+
+    Defaults follow Sec. IV-A: payloads of 100 KB / 1 MB / 10 MB,
+    100-1000 devices, 100 Monte-Carlo runs, a single cell, and an
+    inactivity timer inside the 10-30 s commercial range (20.48 s, which
+    aligns with the eDRX ladder).
+    """
+
+    mixture: TrafficMixture = PAPER_DEFAULT_MIXTURE
+    inactivity_timer_s: float = 20.48
+    n_devices: int = 500
+    device_counts: Tuple[int, ...] = (
+        100, 200, 300, 400, 500, 600, 700, 800, 900, 1000,
+    )
+    payload_sizes: Tuple[int, ...] = (100 * KILOBYTE, MEGABYTE, 10 * MEGABYTE)
+    default_payload: int = MEGABYTE
+    n_runs: int = 100
+    seed: int = 2018
+    timings: ProcedureTimings = ProcedureTimings()
+
+    def __post_init__(self) -> None:
+        if self.inactivity_timer_s <= 0:
+            raise ConfigurationError(
+                f"TI must be positive, got {self.inactivity_timer_s}"
+            )
+        if self.n_devices < 1:
+            raise ConfigurationError(
+                f"n_devices must be >= 1, got {self.n_devices}"
+            )
+        if not self.device_counts:
+            raise ConfigurationError("device_counts must not be empty")
+        if self.n_runs < 1:
+            raise ConfigurationError(f"n_runs must be >= 1, got {self.n_runs}")
+
+    @property
+    def cell(self) -> CellConfig:
+        """Cell configuration with this experiment's inactivity timer."""
+        return CellConfig(
+            inactivity_timer_frames=seconds_to_frames(self.inactivity_timer_s)
+        )
+
+    def planning_context(self, payload_bytes: int) -> PlanningContext:
+        """A planning context for ``payload_bytes`` under this config."""
+        return PlanningContext(
+            payload_bytes=payload_bytes,
+            cell=self.cell,
+            timings=self.timings,
+        )
+
+    def scaled_runs(self, fraction: float) -> "ExperimentConfig":
+        """A copy with the run count scaled down (CI-friendly benches)."""
+        from dataclasses import replace
+
+        runs = max(1, int(round(self.n_runs * fraction)))
+        return replace(self, n_runs=runs)

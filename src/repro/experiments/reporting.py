@@ -1,0 +1,68 @@
+"""Plain-text reporting: the tables/series the figures are built from."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Table:
+    """A rendered-result table (one per figure/experiment).
+
+    Attributes:
+        title: table caption (includes the paper-figure reference).
+        headers: column names.
+        rows: cell text, one inner list per row.
+        notes: free-form footnotes (assumptions, paper-vs-measured).
+    """
+
+    title: str
+    headers: Tuple[str, ...]
+    rows: Tuple[Tuple[str, ...], ...]
+    notes: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.headers):
+                raise ConfigurationError(
+                    f"row {row} has {len(row)} cells, expected {len(self.headers)}"
+                )
+
+
+def render_table(table: Table) -> str:
+    """Render a table as aligned monospace text."""
+    widths = [len(h) for h in table.headers]
+    for row in table.rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = [table.title, "=" * len(table.title), fmt_row(table.headers)]
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in table.rows)
+    for note in table.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_markdown(table: Table) -> str:
+    """Render a table as GitHub-flavoured markdown."""
+    lines = [f"### {table.title}", ""]
+    lines.append("| " + " | ".join(table.headers) + " |")
+    lines.append("|" + "|".join("---" for _ in table.headers) + "|")
+    for row in table.rows:
+        lines.append("| " + " | ".join(row) + " |")
+    for note in table.notes:
+        lines.append("")
+        lines.append(f"*{note}*")
+    return "\n".join(lines)
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string (0.0534 -> '+5.3%')."""
+    return f"{value * 100:+.{digits}f}%"

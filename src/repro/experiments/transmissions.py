@@ -1,0 +1,84 @@
+"""Fig. 7 reproduction: DR-SC multicast transmission counts vs fleet size.
+
+"The average number of multicast transmissions required to update all
+devices over 100 runs" — the paper's bandwidth-utilisation proxy. The
+sweep plans DR-SC for 100..1000 devices and reports the mean count and
+its ratio to plain unicast (which needs one transmission per device).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core import DrScMechanism
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import Table
+from repro.sim.montecarlo import MonteCarlo, RunStatistics
+from repro.traffic.generator import generate_fleet
+
+
+def transmissions_once(
+    rng: np.random.Generator, config: ExperimentConfig, n_devices: int
+) -> Dict[str, float]:
+    """One run: sample a fleet, plan DR-SC, count its transmissions.
+
+    Only the plan is needed (the count is a planning-time quantity), so
+    the sweep stays fast even at 1000 devices x 100 runs.
+    """
+    fleet = generate_fleet(n_devices, config.mixture, rng)
+    context = config.planning_context(config.default_payload)
+    plan = DrScMechanism().plan(fleet, context, rng)
+    largest = max(t.group_size for t in plan.transmissions)
+    return {
+        "transmissions": float(plan.n_transmissions),
+        "fraction_of_unicast": plan.n_transmissions / n_devices,
+        "largest_group": float(largest),
+    }
+
+
+def run_fig7(
+    config: ExperimentConfig = ExperimentConfig(),
+) -> Tuple[Table, Dict[int, Dict[str, RunStatistics]]]:
+    """Fig. 7: mean DR-SC transmissions for each fleet size."""
+    per_n: Dict[int, Dict[str, RunStatistics]] = {}
+    rows = []
+    for n_devices in config.device_counts:
+        harness = MonteCarlo(n_runs=config.n_runs, seed=config.seed + n_devices)
+        stats = harness.run(
+            lambda rng, _run: transmissions_once(rng, config, n_devices)
+        )
+        per_n[n_devices] = stats
+        tx = stats["transmissions"]
+        frac = stats["fraction_of_unicast"]
+        rows.append(
+            (
+                str(n_devices),
+                f"{tx.mean:.1f}",
+                f"±{tx.ci95_halfwidth:.1f}",
+                f"{frac.mean * 100:.0f}%",
+                f"{stats['largest_group'].mean:.1f}",
+            )
+        )
+    table = Table(
+        title=(
+            f"Fig. 7 — DR-SC multicast transmissions to cover all devices "
+            f"({config.n_runs} runs per point)"
+        ),
+        headers=(
+            "devices",
+            "mean transmissions",
+            "95% CI",
+            "% of unicast",
+            "mean largest group",
+        ),
+        rows=tuple(rows),
+        notes=(
+            "Paper: ~50% of N for small fleets, falling as N grows "
+            "(caption: ~40%; body text: 40% more efficient than unicast). "
+            "The ratio declines because larger fleets synchronise more "
+            "devices per window.",
+        ),
+    )
+    return table, per_n

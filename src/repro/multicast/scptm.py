@@ -1,0 +1,73 @@
+"""SC-PTM monitoring-overhead model (related-work baseline).
+
+Single Cell Point-to-Multipoint (3GPP Rel-13/14) is subscription-based:
+devices interested in a multicast service must periodically wake and
+monitor the SC-MCCH control channel for session announcements, whether
+or not anything is being transmitted. That standing cost — which exists
+even in quiet months between firmware pushes — is what the on-demand
+scheme of [3] eliminates, and why the paper builds on [3] rather than
+SC-PTM.
+
+This module quantifies the standing cost so the A5 ablation bench can
+put the grouping mechanisms' one-off overheads in context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.energy.states import PowerState
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScPtmConfig:
+    """SC-PTM monitoring parameters.
+
+    Attributes:
+        mcch_repetition_period_s: how often the SC-MCCH must be checked
+            (the standard allows 2.56 s .. 2621.44 s for NB-IoT; long
+            periods delay session discovery).
+        mcch_monitor_s: radio-on time per check.
+    """
+
+    mcch_repetition_period_s: float = 40.96
+    mcch_monitor_s: float = 0.020
+
+    def __post_init__(self) -> None:
+        if self.mcch_repetition_period_s <= 0:
+            raise ConfigurationError(
+                "MCCH repetition period must be positive, got "
+                f"{self.mcch_repetition_period_s}"
+            )
+        if self.mcch_monitor_s <= 0:
+            raise ConfigurationError(
+                f"MCCH monitor time must be positive, got {self.mcch_monitor_s}"
+            )
+
+
+def scptm_monitoring_overhead_s(
+    observation_s: float, config: ScPtmConfig = ScPtmConfig()
+) -> float:
+    """Extra light-sleep uptime SC-PTM costs one device over a period.
+
+    The on-demand scheme has no equivalent term: its devices hear about
+    multicast sessions through pages at POs they monitor anyway.
+    """
+    if observation_s < 0:
+        raise ConfigurationError(
+            f"observation period must be non-negative, got {observation_s}"
+        )
+    checks = observation_s / config.mcch_repetition_period_s
+    return checks * config.mcch_monitor_s
+
+
+def scptm_monitoring_energy_mj(
+    observation_s: float,
+    config: ScPtmConfig = ScPtmConfig(),
+    profile: EnergyProfile = DEFAULT_PROFILE,
+) -> float:
+    """Energy cost of the standing SC-MCCH monitoring over a period."""
+    uptime = scptm_monitoring_overhead_s(observation_s, config)
+    return profile.energy_mj(PowerState.PO_MONITOR, uptime)

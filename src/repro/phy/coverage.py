@@ -1,0 +1,87 @@
+"""Coverage classes (CE levels) and their link characteristics.
+
+NB-IoT defines three coverage-enhancement (CE) levels. Devices in bad
+coverage (basements, meter cabinets) use heavy repetition on every
+channel, which multiplies procedure durations and divides the sustained
+NPDSCH data rate. The figures used here are representative of the
+published NB-IoT link-budget literature (3GPP TR 45.820 and vendor
+datasheets): ~25 kbps sustained downlink in normal coverage, dropping to
+a few kbps at the extreme CE level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+
+
+class CoverageClass(Enum):
+    """NB-IoT coverage-enhancement level (CE0/CE1/CE2)."""
+
+    NORMAL = "normal"  # CE0: MCL <= 144 dB
+    ROBUST = "robust"  # CE1: MCL <= 154 dB
+    EXTREME = "extreme"  # CE2: MCL <= 164 dB
+
+    @property
+    def ce_level(self) -> int:
+        """The numeric CE level (0, 1, 2)."""
+        return {"normal": 0, "robust": 1, "extreme": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class CoverageProfile:
+    """Link characteristics of one coverage class.
+
+    Attributes:
+        coverage: the class this profile describes.
+        downlink_bps: sustained NPDSCH goodput (bits per second).
+        repetitions: typical repetition factor applied to control
+            channels (drives procedure durations).
+        random_access_seconds: end-to-end random access duration
+            (NPRACH preamble + RAR window + Msg3 + Msg4 incl. repetitions).
+    """
+
+    coverage: CoverageClass
+    downlink_bps: float
+    repetitions: int
+    random_access_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.downlink_bps <= 0:
+            raise ConfigurationError(
+                f"downlink rate must be positive, got {self.downlink_bps}"
+            )
+        if self.repetitions < 1:
+            raise ConfigurationError(
+                f"repetition factor must be >= 1, got {self.repetitions}"
+            )
+        if self.random_access_seconds <= 0:
+            raise ConfigurationError(
+                f"random access duration must be positive, "
+                f"got {self.random_access_seconds}"
+            )
+
+
+#: Default link profiles per coverage class.
+PROFILES = {
+    CoverageClass.NORMAL: CoverageProfile(
+        coverage=CoverageClass.NORMAL,
+        downlink_bps=25_000.0,
+        repetitions=1,
+        random_access_seconds=0.35,
+    ),
+    CoverageClass.ROBUST: CoverageProfile(
+        coverage=CoverageClass.ROBUST,
+        downlink_bps=10_000.0,
+        repetitions=8,
+        random_access_seconds=1.0,
+    ),
+    CoverageClass.EXTREME: CoverageProfile(
+        coverage=CoverageClass.EXTREME,
+        downlink_bps=2_000.0,
+        repetitions=32,
+        random_access_seconds=3.0,
+    ),
+}

@@ -1,0 +1,143 @@
+"""Transport-block-level NPDSCH airtime model.
+
+The coarse model in :mod:`repro.phy.airtime` treats the downlink as a
+constant-rate pipe. This module refines it to the shape of the actual
+NB-IoT downlink shared channel (TS 36.213 §16.4):
+
+* data is sent in **transport blocks** of at most 680 bits (Rel-13
+  Cat-NB1) — 2536 bits with Rel-14 Cat-NB2;
+* each block occupies ``n_sf`` 1 ms subframes and is **repeated**
+  ``2^r`` times for coverage enhancement;
+* consecutive blocks are separated by scheduling gaps (NPDCCH grant +
+  processing delays), which is what caps sustained goodput far below
+  the instantaneous rate.
+
+The model exposes both the per-block timing and the derived sustained
+rate, and a self-check in the test suite confirms the derived rates
+bracket the coarse per-coverage-class constants used elsewhere.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.phy.coverage import CoverageClass
+
+
+@dataclass(frozen=True)
+class NpdschConfig:
+    """NPDSCH scheduling parameters.
+
+    Attributes:
+        tbs_bits: transport block size (<= 680 for Cat-NB1, <= 2536 for
+            Cat-NB2).
+        subframes_per_block: 1 ms subframes one (unrepeated) block spans.
+        repetitions: coverage-enhancement repetition factor (power of 2,
+            1..2048 per TS 36.211).
+        scheduling_gap_ms: NPDCCH grant + DCI-to-data + HARQ turnaround
+            between consecutive blocks.
+    """
+
+    tbs_bits: int = 680
+    subframes_per_block: int = 3
+    repetitions: int = 1
+    scheduling_gap_ms: float = 13.0
+
+    #: Rel-13 Cat-NB1 maximum TBS.
+    MAX_TBS_CAT_NB1 = 680
+
+    #: Rel-14 Cat-NB2 maximum TBS.
+    MAX_TBS_CAT_NB2 = 2536
+
+    def __post_init__(self) -> None:
+        if not 16 <= self.tbs_bits <= self.MAX_TBS_CAT_NB2:
+            raise ConfigurationError(
+                f"TBS must be in [16, {self.MAX_TBS_CAT_NB2}] bits, got "
+                f"{self.tbs_bits}"
+            )
+        if not 1 <= self.subframes_per_block <= 10:
+            raise ConfigurationError(
+                f"subframes_per_block must be 1..10, got "
+                f"{self.subframes_per_block}"
+            )
+        if self.repetitions < 1 or self.repetitions & (self.repetitions - 1):
+            raise ConfigurationError(
+                f"repetitions must be a power of two >= 1, got "
+                f"{self.repetitions}"
+            )
+        if self.repetitions > 2048:
+            raise ConfigurationError(
+                f"repetitions capped at 2048, got {self.repetitions}"
+            )
+        if self.scheduling_gap_ms < 0:
+            raise ConfigurationError(
+                f"scheduling gap must be non-negative, got "
+                f"{self.scheduling_gap_ms}"
+            )
+
+    # ------------------------------------------------------------------
+    # Per-block timing
+    # ------------------------------------------------------------------
+    @property
+    def block_airtime_ms(self) -> float:
+        """Airtime of one block including repetitions, excluding the gap."""
+        return self.subframes_per_block * self.repetitions * 1.0
+
+    @property
+    def block_cycle_ms(self) -> float:
+        """Grant-to-grant period: airtime plus the scheduling gap."""
+        return self.block_airtime_ms + self.scheduling_gap_ms
+
+    @property
+    def sustained_rate_bps(self) -> float:
+        """Goodput of back-to-back scheduled blocks."""
+        return self.tbs_bits / (self.block_cycle_ms / 1000.0)
+
+    # ------------------------------------------------------------------
+    # Payload-level queries
+    # ------------------------------------------------------------------
+    def blocks_for(self, payload_bytes: int) -> int:
+        """Transport blocks needed for ``payload_bytes``."""
+        if payload_bytes <= 0:
+            raise ConfigurationError(
+                f"payload must be positive, got {payload_bytes}"
+            )
+        return math.ceil(payload_bytes * 8 / self.tbs_bits)
+
+    def airtime_seconds(self, payload_bytes: int) -> float:
+        """Total delivery time for ``payload_bytes`` (gaps included).
+
+        The final block needs no trailing gap.
+        """
+        blocks = self.blocks_for(payload_bytes)
+        total_ms = blocks * self.block_cycle_ms - self.scheduling_gap_ms
+        return total_ms / 1000.0
+
+    def occupancy_seconds(self, payload_bytes: int) -> float:
+        """Carrier time actually occupied by NPDSCH subframes."""
+        return self.blocks_for(payload_bytes) * self.block_airtime_ms / 1000.0
+
+
+#: Representative configurations per coverage class: deeper coverage uses
+#: heavier repetition and (for EXTREME) a smaller TBS for decodability.
+COVERAGE_NPDSCH = {
+    CoverageClass.NORMAL: NpdschConfig(
+        tbs_bits=680, subframes_per_block=3, repetitions=1,
+        scheduling_gap_ms=13.0,
+    ),
+    CoverageClass.ROBUST: NpdschConfig(
+        tbs_bits=680, subframes_per_block=3, repetitions=8,
+        scheduling_gap_ms=13.0,
+    ),
+    CoverageClass.EXTREME: NpdschConfig(
+        tbs_bits=328, subframes_per_block=3, repetitions=64,
+        scheduling_gap_ms=20.0,
+    ),
+}
+
+
+def sustained_rate_for(coverage: CoverageClass) -> float:
+    """Sustained NPDSCH goodput of the representative configuration."""
+    return COVERAGE_NPDSCH[coverage].sustained_rate_bps

@@ -1,0 +1,55 @@
+"""RRC/MAC control-plane modelling.
+
+This package provides the control-plane vocabulary the grouping
+mechanisms speak:
+
+* message dataclasses (:mod:`repro.rrc.messages`) — paging messages with
+  the standard ``PagingRecordList`` *and* the paper's non-critical
+  ``mltc-transmission`` extension; RRC connection messages including the
+  new ``multicastReception`` establishment cause (both DR-SI novelties,
+  Sec. III-C);
+* the random access timing model with optional contention failures
+  (:mod:`repro.rrc.random_access`);
+* composite procedure durations — connection setup, the DA-SC
+  reconfiguration episode, release (:mod:`repro.rrc.procedures`);
+* the DR-SI ``T322`` wake-up timer (:mod:`repro.rrc.timers`).
+"""
+
+from repro.rrc.messages import (
+    EstablishmentCause,
+    MulticastNotification,
+    PagingMessage,
+    PagingRecord,
+    RrcConnectionReconfiguration,
+    RrcConnectionRelease,
+    RrcConnectionRequest,
+    RrcConnectionSetup,
+)
+from repro.rrc.random_access import RandomAccessModel, RandomAccessOutcome
+from repro.rrc.nprach import (
+    NprachConfig,
+    RachSimulationResult,
+    simulate_rach,
+    stampede_arrivals,
+)
+from repro.rrc.procedures import ProcedureTimings
+from repro.rrc.timers import T322Timer
+
+__all__ = [
+    "PagingRecord",
+    "MulticastNotification",
+    "PagingMessage",
+    "EstablishmentCause",
+    "RrcConnectionRequest",
+    "RrcConnectionSetup",
+    "RrcConnectionReconfiguration",
+    "RrcConnectionRelease",
+    "RandomAccessModel",
+    "RandomAccessOutcome",
+    "NprachConfig",
+    "RachSimulationResult",
+    "simulate_rach",
+    "stampede_arrivals",
+    "ProcedureTimings",
+    "T322Timer",
+]

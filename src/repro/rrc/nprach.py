@@ -1,0 +1,192 @@
+"""Slot-level NPRACH contention simulation.
+
+The coarse :class:`~repro.rrc.random_access.RandomAccessModel` charges a
+fixed duration with an optional i.i.d. collision probability. This
+module simulates the contention *mechanism itself* — shared preambles
+in periodic NPRACH opportunities — so collision probability becomes an
+emergent property of load:
+
+* NPRACH opportunities recur every ``period_ms``; each offers
+  ``n_preambles`` single-tone preambles (12/24/48 per CE level, minus
+  those reserved for contention-free access);
+* every device arriving since the previous opportunity picks a preamble
+  uniformly at random; preambles chosen by exactly one device succeed,
+  all others collide (the eNB cannot resolve same-preamble arrivals);
+* collided devices draw a uniform backoff and retry, up to
+  ``max_attempts``.
+
+This answers a design question the paper raises but does not quantify
+(Sec. III-C): DR-SI deliberately spreads wake-ups "at a random time
+value between [t - TI, t)" instead of waking everyone at the window
+start. The ``bench_rach_stampede`` benchmark measures how much that
+randomisation actually buys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class NprachConfig:
+    """NPRACH resource configuration for one coverage class.
+
+    Attributes:
+        period_ms: NPRACH opportunity periodicity (40..2560 ms in
+            TS 36.211; dense defaults for a paging-heavy cell).
+        n_preambles: contention-based preambles per opportunity.
+        preamble_ms: preamble airtime (repetition-dependent).
+        response_window_ms: RAR window the device waits after sending.
+        backoff_max_ms: uniform backoff upper bound after a collision.
+        max_attempts: give-up threshold.
+    """
+
+    period_ms: float = 160.0
+    n_preambles: int = 48
+    preamble_ms: float = 6.4
+    response_window_ms: float = 40.0
+    backoff_max_ms: float = 960.0
+    max_attempts: int = 10
+
+    def __post_init__(self) -> None:
+        if self.period_ms <= 0:
+            raise ConfigurationError(f"period must be positive, got {self.period_ms}")
+        if self.n_preambles < 1:
+            raise ConfigurationError(
+                f"need at least one preamble, got {self.n_preambles}"
+            )
+        if self.preamble_ms <= 0 or self.response_window_ms < 0:
+            raise ConfigurationError("invalid preamble/response timing")
+        if self.backoff_max_ms < 0:
+            raise ConfigurationError(
+                f"backoff must be non-negative, got {self.backoff_max_ms}"
+            )
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+
+
+@dataclass(frozen=True)
+class RachSimulationResult:
+    """Outcome of one contention simulation.
+
+    Attributes:
+        success_times_ms: per-device completion time (preamble success +
+            RAR), relative to the simulation origin; NaN for failures.
+        attempts: per-device number of preambles sent.
+        failed: indices of devices that exhausted their attempts.
+    """
+
+    success_times_ms: np.ndarray
+    attempts: np.ndarray
+    failed: tuple
+
+    @property
+    def n_devices(self) -> int:
+        """Number of simulated devices."""
+        return int(self.success_times_ms.size)
+
+    @property
+    def success_rate(self) -> float:
+        """Fraction of devices that eventually succeeded."""
+        return 1.0 - len(self.failed) / self.n_devices
+
+    @property
+    def mean_attempts(self) -> float:
+        """Mean preamble transmissions per device (failures included)."""
+        return float(np.mean(self.attempts))
+
+    @property
+    def mean_access_delay_ms(self) -> float:
+        """Mean arrival-to-success delay over successful devices."""
+        ok = ~np.isnan(self.success_times_ms)
+        if not ok.any():
+            raise ConfigurationError("no device succeeded")
+        return float(np.mean(self.success_times_ms[ok]))
+
+
+def simulate_rach(
+    arrival_times_ms: Sequence[float],
+    config: NprachConfig,
+    rng: np.random.Generator,
+) -> RachSimulationResult:
+    """Simulate contention for a batch of arrivals.
+
+    Args:
+        arrival_times_ms: per-device instants at which they decide to
+            access (e.g. T322 expiries relative to the window start).
+        config: NPRACH resources.
+        rng: randomness for preamble picks and backoffs.
+    """
+    arrivals = np.asarray(arrival_times_ms, dtype=np.float64)
+    if arrivals.size == 0:
+        raise ConfigurationError("no arrivals to simulate")
+    if np.any(arrivals < 0):
+        raise ConfigurationError("arrival times must be non-negative")
+
+    n = arrivals.size
+    next_try = arrivals.copy()
+    attempts = np.zeros(n, dtype=np.int64)
+    success = np.full(n, np.nan)
+    active = np.ones(n, dtype=bool)
+    failed: List[int] = []
+
+    # Process opportunity by opportunity until everyone resolved.
+    opportunity = 0.0
+    guard = 0
+    while active.any():
+        guard += 1
+        if guard > 1_000_000:  # pragma: no cover - defensive
+            raise ConfigurationError("RACH simulation did not converge")
+        # Jump to the first opportunity any active device can make.
+        earliest = next_try[active].min()
+        opportunity = np.ceil(earliest / config.period_ms) * config.period_ms
+        contenders = np.nonzero(active & (next_try <= opportunity))[0]
+        if contenders.size == 0:
+            continue
+        picks = rng.integers(0, config.n_preambles, size=contenders.size)
+        unique, counts = np.unique(picks, return_counts=True)
+        singletons = set(unique[counts == 1])
+        for device, pick in zip(contenders, picks):
+            attempts[device] += 1
+            if pick in singletons:
+                success[device] = (
+                    opportunity + config.preamble_ms + config.response_window_ms
+                ) - arrivals[device]
+                active[device] = False
+            elif attempts[device] >= config.max_attempts:
+                active[device] = False
+                failed.append(int(device))
+            else:
+                backoff = rng.uniform(0.0, config.backoff_max_ms)
+                next_try[device] = (
+                    opportunity + config.preamble_ms + config.response_window_ms
+                    + backoff
+                )
+    return RachSimulationResult(
+        success_times_ms=success, attempts=attempts, failed=tuple(sorted(failed))
+    )
+
+
+def stampede_arrivals(
+    n_devices: int, window_ms: float, spread: bool, rng: np.random.Generator
+) -> np.ndarray:
+    """Arrival patterns for the DR-SI design question.
+
+    ``spread=True`` is the paper's design (uniform wake times over the
+    TI window); ``spread=False`` is the strawman where every notified
+    device wakes at the window start simultaneously.
+    """
+    if n_devices < 1:
+        raise ConfigurationError(f"need at least one device, got {n_devices}")
+    if window_ms <= 0:
+        raise ConfigurationError(f"window must be positive, got {window_ms}")
+    if spread:
+        return rng.uniform(0.0, window_ms, size=n_devices)
+    return np.zeros(n_devices)

@@ -1,0 +1,69 @@
+"""Composite control-plane procedure timings.
+
+The grouping mechanisms are sequences of standard procedures; this
+module composes the elementary airtimes (:class:`repro.phy.AirtimeModel`)
+and the RA model into the durations the executor charges to devices:
+
+* **connection setup** — RA + RRC setup signalling (every mechanism and
+  the unicast baseline pay this before receiving data);
+* **DA-SC adaptation episode** — RA + setup + reconfiguration carrying
+  the temporary cycle + immediate release (Sec. III-B);
+* **DA-SC restore** — one in-connection reconfiguration after the
+  multicast (no extra RA: the device is still connected);
+* **release** — the final release exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.phy.airtime import DEFAULT_AIRTIME_MODEL, AirtimeModel
+from repro.phy.coverage import CoverageClass
+from repro.rrc.random_access import RandomAccessModel
+
+
+@dataclass(frozen=True)
+class ProcedureTimings:
+    """Durations of the composite RRC procedures (seconds)."""
+
+    airtime: AirtimeModel = DEFAULT_AIRTIME_MODEL
+    random_access: RandomAccessModel = RandomAccessModel()
+
+    def connection_setup_s(
+        self,
+        coverage: CoverageClass,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """RA + RRC connection setup, up to the point data can flow."""
+        ra = self.random_access.perform(coverage, rng).duration_s
+        return ra + self.airtime.rrc_setup_s
+
+    def adaptation_episode_s(
+        self,
+        coverage: CoverageClass,
+        rng: Optional[np.random.Generator] = None,
+    ) -> float:
+        """The full DA-SC cycle-adaptation episode.
+
+        The device is paged at a normal PO (charged separately as paging
+        reception), then: random access -> RRC setup -> reconfiguration
+        with the temporary DRX value -> immediate release ("the eNB then
+        instructs the device to switch back to sleep immediately",
+        Sec. III-B).
+        """
+        return (
+            self.connection_setup_s(coverage, rng)
+            + self.airtime.rrc_reconfiguration_s
+            + self.airtime.rrc_release_s
+        )
+
+    def restore_s(self) -> float:
+        """Post-multicast restore reconfiguration (device still connected)."""
+        return self.airtime.rrc_reconfiguration_s
+
+    def release_s(self) -> float:
+        """Final RRC release exchange."""
+        return self.airtime.rrc_release_s

@@ -1,0 +1,45 @@
+"""Device-side timers.
+
+DR-SI introduces ``T322`` (Sec. III-C): on receiving the extended paging
+message the device "selects a random time value between [t - TI, t) and
+sets a new timer (T322) to expire at the selected time. When T322
+expires, the device wakes up and connects to the network to receive the
+multicast data."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class T322Timer:
+    """The DR-SI wake-up timer.
+
+    Attributes:
+        armed_at_frame: frame at which the device armed the timer (its
+            extended-page PO).
+        expires_at_frame: the randomly selected wake-up frame within
+            ``[t - TI, t)``.
+    """
+
+    armed_at_frame: int
+    expires_at_frame: int
+
+    def __post_init__(self) -> None:
+        if self.armed_at_frame < 0:
+            raise ConfigurationError(
+                f"armed_at_frame must be non-negative, got {self.armed_at_frame}"
+            )
+        if self.expires_at_frame <= self.armed_at_frame:
+            raise ConfigurationError(
+                f"T322 must expire after it is armed "
+                f"({self.expires_at_frame} <= {self.armed_at_frame})"
+            )
+
+    @property
+    def duration_frames(self) -> int:
+        """Frames between arming and expiry."""
+        return self.expires_at_frame - self.armed_at_frame

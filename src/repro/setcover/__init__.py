@@ -1,0 +1,34 @@
+"""Set-cover machinery behind DR-SC.
+
+Sec. III-A of the paper formulates grouping as covering devices with
+time windows of length TI: "Finding the minimum set of frames that would
+cover all devices corresponds to the set cover problem which is a known
+NP-hard [9]. Therefore, we follow an approximate solution to this
+problem, given a greedy set selection approach [10]."
+
+* :mod:`repro.setcover.windows` — sweep-line search for the TI-window
+  covering the most not-yet-updated devices (vectorised);
+* :mod:`repro.setcover.greedy` — the iterated greedy cover (Chvátal) and
+  a generic greedy set cover for arbitrary set systems;
+* :mod:`repro.setcover.exact` — branch-and-bound exact minimum cover for
+  small instances, used to test the greedy's approximation quality.
+"""
+
+from repro.setcover.windows import BestWindow, best_window, coverage_intervals
+from repro.setcover.greedy import (
+    GreedyWindowCover,
+    greedy_set_cover,
+    greedy_window_cover,
+)
+from repro.setcover.exact import exact_min_set_cover, exact_min_window_cover
+
+__all__ = [
+    "coverage_intervals",
+    "BestWindow",
+    "best_window",
+    "GreedyWindowCover",
+    "greedy_window_cover",
+    "greedy_set_cover",
+    "exact_min_set_cover",
+    "exact_min_window_cover",
+]

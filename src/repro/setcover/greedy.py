@@ -1,0 +1,129 @@
+"""Greedy set cover (Chvátal) — generic and window-specialised.
+
+The window-specialised :func:`greedy_window_cover` is the algorithm of
+paper Sec. III-A / Fig. 4: repeatedly find the TI-window holding the
+most not-yet-updated devices, schedule a transmission at its last frame,
+mark the covered devices updated, repeat until none remain. The generic
+:func:`greedy_set_cover` is used to cross-check it on explicit set
+systems and in the approximation-quality tests against the exact solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import SetCoverError
+from repro.setcover.windows import best_window
+from repro.timebase import FrameWindow
+
+
+@dataclass(frozen=True)
+class GreedyWindowCover:
+    """Result of the iterated greedy window cover.
+
+    Attributes:
+        windows: the chosen TI-windows, in selection order.
+        assignments: per window, the indices of devices it covers (each
+            device appears in exactly one window).
+    """
+
+    windows: Tuple[FrameWindow, ...]
+    assignments: Tuple[np.ndarray, ...]
+
+    @property
+    def n_transmissions(self) -> int:
+        """Number of multicast transmissions the cover needs."""
+        return len(self.windows)
+
+    @property
+    def transmission_frames(self) -> Tuple[int, ...]:
+        """Transmission frames (last frame of each window)."""
+        return tuple(w.last_frame for w in self.windows)
+
+    @property
+    def group_sizes(self) -> Tuple[int, ...]:
+        """Devices covered by each transmission, in selection order."""
+        return tuple(len(a) for a in self.assignments)
+
+
+def greedy_window_cover(
+    phases: np.ndarray,
+    periods: np.ndarray,
+    window_len: int,
+    horizon_start: int,
+    horizon_end: int,
+    rng: Optional[np.random.Generator] = None,
+) -> GreedyWindowCover:
+    """Cover every device with TI-windows, greedily largest-first.
+
+    The search horizon should be ``2 * max(period)`` past the announce
+    frame: "the PO occurrence patterns will start repeating after a
+    period twice as long as the largest DRX, so we only need to search
+    this length of time" (Sec. III-A). Every device has at least one PO
+    in such a horizon, so termination is guaranteed.
+    """
+    phases = np.asarray(phases, dtype=np.int64)
+    periods = np.asarray(periods, dtype=np.int64)
+    n = phases.size
+    if n == 0:
+        raise SetCoverError("cannot cover an empty fleet")
+    if horizon_end - horizon_start < int(periods.max()) * 2:
+        raise SetCoverError(
+            "horizon shorter than twice the longest cycle: some devices "
+            "may have no PO inside it"
+        )
+
+    remaining = np.arange(n, dtype=np.int64)
+    windows: List[FrameWindow] = []
+    assignments: List[np.ndarray] = []
+    while remaining.size:
+        found = best_window(
+            phases[remaining],
+            periods[remaining],
+            window_len,
+            horizon_start,
+            horizon_end,
+            rng,
+        )
+        covered_global = remaining[found.covered]
+        windows.append(FrameWindow(found.start, found.start + window_len))
+        assignments.append(covered_global)
+        mask = np.ones(remaining.size, dtype=bool)
+        mask[found.covered] = False
+        remaining = remaining[mask]
+    return GreedyWindowCover(windows=tuple(windows), assignments=tuple(assignments))
+
+
+def greedy_set_cover(
+    universe: Set[int], sets: Sequence[FrozenSet[int]]
+) -> List[int]:
+    """Classic greedy set cover over an explicit set system.
+
+    Returns the indices of the chosen sets, in selection order. Raises
+    :class:`~repro.errors.SetCoverError` if the union of ``sets`` does
+    not cover ``universe``. Ties are broken by lowest set index, which
+    keeps the function deterministic for tests.
+    """
+    covered: Set[int] = set()
+    uncovered = set(universe)
+    chosen: List[int] = []
+    while uncovered:
+        best_idx = -1
+        best_gain = 0
+        for i, candidate in enumerate(sets):
+            gain = len(candidate & uncovered)
+            if gain > best_gain:
+                best_gain = gain
+                best_idx = i
+        if best_idx < 0:
+            raise SetCoverError(
+                f"sets cannot cover universe: {sorted(uncovered)} uncoverable"
+            )
+        chosen.append(best_idx)
+        newly = sets[best_idx] & uncovered
+        covered |= newly
+        uncovered -= newly
+    return chosen

@@ -1,0 +1,36 @@
+"""Simulation: executors, the event engine and the Monte-Carlo harness.
+
+Two executors produce identical campaign results from a plan:
+
+* :class:`~repro.sim.executor.CampaignExecutor` — direct per-device
+  timeline arithmetic (fast path used by experiments);
+* :class:`~repro.sim.replay.EventDrivenCampaign` — replays the plan on
+  the discrete-event engine (:mod:`repro.sim.engine`), used by the
+  integration tests to cross-validate the arithmetic and by examples
+  that want an inspectable event trace.
+
+:mod:`repro.sim.montecarlo` runs seeded repetitions and aggregates.
+"""
+
+from repro.sim.rng import generator_for, spawn_generators
+from repro.sim.metrics import CampaignResult, DeviceOutcome, FleetSummary
+from repro.sim.executor import CampaignExecutor
+from repro.sim.events import Event, EventKind
+from repro.sim.engine import Simulator
+from repro.sim.replay import EventDrivenCampaign
+from repro.sim.montecarlo import MonteCarlo, RunStatistics
+
+__all__ = [
+    "generator_for",
+    "spawn_generators",
+    "DeviceOutcome",
+    "CampaignResult",
+    "FleetSummary",
+    "CampaignExecutor",
+    "Event",
+    "EventKind",
+    "Simulator",
+    "EventDrivenCampaign",
+    "MonteCarlo",
+    "RunStatistics",
+]

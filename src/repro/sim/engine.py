@@ -1,0 +1,78 @@
+"""A minimal deterministic discrete-event engine.
+
+A binary-heap scheduler with a strict total order on events:
+``(time, priority, insertion sequence)``. Ties at identical times are
+resolved first by an explicit priority (e.g. a transmission must start
+after the last CONNECTION_READY at the same instant) and then by
+insertion order, making runs bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+
+#: A queue entry: (time, priority, sequence, event, callback).
+_Entry = Tuple[float, int, int, Event, Callable[[Event], None]]
+
+
+class Simulator:
+    """The event loop."""
+
+    def __init__(self, trace: bool = False) -> None:
+        """``trace=True`` records every executed event in ``self.trace``."""
+        self._queue: List[_Entry] = []
+        self._seq = 0
+        self._now = 0.0
+        self._tracing = trace
+        self.trace: List[Event] = []
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of events still queued."""
+        return len(self._queue)
+
+    def schedule(
+        self,
+        event: Event,
+        callback: Callable[[Event], None],
+        priority: int = 0,
+    ) -> None:
+        """Queue ``event`` to run ``callback`` at ``event.time_s``."""
+        if event.time_s < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule {event.kind.value} at {event.time_s:.6f}s "
+                f"in the past (now={self._now:.6f}s)"
+            )
+        heapq.heappush(
+            self._queue, (event.time_s, priority, self._seq, event, callback)
+        )
+        self._seq += 1
+
+    def run(self, until_s: Optional[float] = None) -> int:
+        """Process events (optionally only up to ``until_s``).
+
+        Returns the number of events executed. Events scheduled beyond
+        ``until_s`` stay in the queue (the clock does not advance past
+        them), so a later ``run`` call can continue.
+        """
+        executed = 0
+        while self._queue:
+            time_s, _, _, event, callback = self._queue[0]
+            if until_s is not None and time_s > until_s:
+                break
+            heapq.heappop(self._queue)
+            self._now = time_s
+            if self._tracing:
+                self.trace.append(event)
+            callback(event)
+            executed += 1
+        return executed

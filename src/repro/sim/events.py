@@ -1,0 +1,56 @@
+"""Typed events for the discrete-event engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Optional
+
+
+class EventKind(Enum):
+    """Kinds of events the campaign replay schedules."""
+
+    PO_MONITOR = "po_monitor"
+    """A device wakes to check its paging occasion."""
+
+    PAGE = "page"
+    """A paging message addressed to a device arrives at its PO."""
+
+    EXTENDED_PAGE = "extended_page"
+    """A DR-SI ``mltc-transmission`` notification arrives at a PO."""
+
+    ADAPTATION_PAGE = "adaptation_page"
+    """DA-SC: the page starting the cycle-reconfiguration episode."""
+
+    T322_EXPIRY = "t322_expiry"
+    """DR-SI: the wake-up timer fires; the device starts random access."""
+
+    CONNECTION_READY = "connection_ready"
+    """Random access + RRC setup finished; device awaits the data."""
+
+    TX_START = "tx_start"
+    """A multicast (or unicast) transmission begins."""
+
+    TX_END = "tx_end"
+    """The transmission's payload is fully delivered."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """One scheduled event.
+
+    Attributes:
+        time_s: simulated time in seconds.
+        kind: event type.
+        device_index: the device concerned (None for fleet-wide events).
+        payload: free-form extra data recorded in the trace.
+    """
+
+    time_s: float
+    kind: EventKind
+    device_index: Optional[int] = None
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        who = "" if self.device_index is None else f" dev={self.device_index}"
+        return f"[{self.time_s:12.3f}s] {self.kind.value}{who}"

@@ -1,0 +1,327 @@
+"""The campaign executor: plan -> per-device ledgers.
+
+Turns a validated :class:`~repro.core.plan.MulticastPlan` into a
+:class:`~repro.sim.metrics.CampaignResult` by walking each device's
+timeline over a common observation horizon:
+
+* idle periods — every paging occasion costs one PO-monitor interval
+  (light sleep); the grid is the preferred cycle except, for DA-SC
+  adapted devices, the temporarily shortened grid between adaptation
+  and the multicast;
+* paging receptions (normal, extended) — light sleep;
+* random access, RRC signalling, connected waiting and data reception —
+  connected mode;
+* everything else — deep sleep.
+
+The transmission start is the realistic one: the eNB begins the
+multicast at the nominal frame *or* as soon as the last paged group
+member is connected, whichever is later (devices paged at the very end
+of the window still need their random access to finish). Waits are
+therefore never negative.
+
+The same accounting is reproduced event-by-event in
+:mod:`repro.sim.replay`; an integration test asserts both agree.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.plan import DeviceDirective, MulticastPlan, Transmission, WakeMethod
+from repro.devices.device import NbIotDevice
+from repro.devices.fleet import Fleet
+from repro.drx.paging import pattern_for
+from repro.drx.schedule import PoSchedule
+from repro.energy.ledger import UptimeLedger
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.energy.states import PowerState
+from repro.errors import SimulationError
+from repro.rrc.procedures import ProcedureTimings
+from repro.sim.metrics import CampaignResult, DeviceOutcome
+from repro.timebase import frames_to_seconds
+
+_FRAME_S = 0.010
+
+
+def _frame_after(time_s: float) -> int:
+    """First frame index fully at or after ``time_s``."""
+    return int(math.ceil(time_s / _FRAME_S - 1e-9))
+
+
+class CampaignExecutor:
+    """Executes plans with direct timeline arithmetic (the fast path)."""
+
+    def __init__(
+        self,
+        timings: ProcedureTimings = ProcedureTimings(),
+        energy_profile: EnergyProfile = DEFAULT_PROFILE,
+    ) -> None:
+        self._timings = timings
+        self._profile = energy_profile
+
+    @property
+    def timings(self) -> ProcedureTimings:
+        """The control-plane timing model in force."""
+        return self._timings
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        fleet: Fleet,
+        plan: MulticastPlan,
+        horizon_frames: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CampaignResult:
+        """Run ``plan`` against ``fleet`` over a common horizon.
+
+        ``horizon_frames`` fixes the observation window; it defaults to
+        just past the campaign's real end. Pass the horizon of another
+        result to build a comparable baseline (Fig. 6 divides uptime
+        sums computed over identical horizons).
+
+        ``rng`` is only needed when the random access model injects
+        contention.
+        """
+        per_device = self._prepare_devices(fleet, plan, rng)
+        actual_starts = self._transmission_starts(plan, per_device)
+        outcomes, horizon = self._account(
+            fleet, plan, per_device, actual_starts, horizon_frames
+        )
+        return CampaignResult(
+            plan=plan,
+            horizon_frames=horizon,
+            outcomes=tuple(outcomes),
+            actual_start_s=tuple(actual_starts[t.index] for t in plan.transmissions),
+            energy_profile=self._profile,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 1: readiness and pre-transmission charges
+    # ------------------------------------------------------------------
+    def _prepare_devices(
+        self,
+        fleet: Fleet,
+        plan: MulticastPlan,
+        rng: Optional[np.random.Generator],
+    ) -> Dict[int, "_DeviceTimeline"]:
+        timelines: Dict[int, _DeviceTimeline] = {}
+        airtime = self._timings.airtime
+        for directive in plan.directives:
+            device = fleet[directive.device_index]
+            timeline = _DeviceTimeline(directive=directive)
+            if directive.method is WakeMethod.DRX_ADAPTATION:
+                adaptation_s = frames_to_seconds(directive.adaptation_page_frame)
+                episode = self._timings.adaptation_episode_s(device.coverage, rng)
+                timeline.adaptation_paging_s = airtime.paging_message_s
+                timeline.adaptation_episode_s = episode
+                timeline.adaptation_busy_end_f = _frame_after(
+                    adaptation_s + airtime.paging_message_s + episode
+                )
+            if directive.method is WakeMethod.EXTENDED_PAGE_TIMER:
+                # Extended page heard at a normal PO; connection happens
+                # later, at T322 expiry, with no page preceding it.
+                timeline.page_rx_s = airtime.extended_paging_s
+                wake_s = frames_to_seconds(directive.connect_frame)
+                ra = self._timings.random_access.perform(device.coverage, rng)
+                timeline.ra_s = ra.duration_s
+                timeline.ready_s = wake_s + ra.duration_s + airtime.rrc_setup_s
+            else:
+                timeline.page_rx_s = airtime.paging_message_s
+                page_s = frames_to_seconds(directive.page_frame)
+                ra = self._timings.random_access.perform(device.coverage, rng)
+                timeline.ra_s = ra.duration_s
+                timeline.ready_s = (
+                    page_s
+                    + airtime.paging_message_s
+                    + ra.duration_s
+                    + airtime.rrc_setup_s
+                )
+            timelines[directive.device_index] = timeline
+        return timelines
+
+    # ------------------------------------------------------------------
+    # Phase 2: realised transmission starts
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _transmission_starts(
+        plan: MulticastPlan, per_device: Dict[int, "_DeviceTimeline"]
+    ) -> Dict[int, float]:
+        starts: Dict[int, float] = {}
+        for transmission in plan.transmissions:
+            nominal = frames_to_seconds(transmission.frame)
+            latest_ready = max(
+                per_device[i].ready_s for i in transmission.device_indices
+            )
+            starts[transmission.index] = max(nominal, latest_ready)
+        return starts
+
+    # ------------------------------------------------------------------
+    # Phase 3: per-device accounting over the horizon
+    # ------------------------------------------------------------------
+    def _account(
+        self,
+        fleet: Fleet,
+        plan: MulticastPlan,
+        per_device: Dict[int, "_DeviceTimeline"],
+        starts: Dict[int, float],
+        horizon_frames: Optional[int],
+    ) -> Tuple[List[DeviceOutcome], int]:
+        airtime = self._timings.airtime
+        transmissions = {t.index: t for t in plan.transmissions}
+
+        # First pass: campaign end (to resolve the default horizon).
+        end_s = 0.0
+        for directive in plan.directives:
+            timeline = per_device[directive.device_index]
+            transmission = transmissions[directive.transmission_index]
+            rx_s = plan.payload_bytes * 8.0 / transmission.rate_bps
+            tail = self._tail_s(directive)
+            timeline.start_s = starts[transmission.index]
+            timeline.rx_s = rx_s
+            timeline.tail_s = tail
+            timeline.main_end_s = timeline.start_s + rx_s + tail
+            end_s = max(end_s, timeline.main_end_s)
+        horizon = self._resolve_horizon(horizon_frames, end_s)
+        horizon_s = frames_to_seconds(horizon)
+
+        outcomes: List[DeviceOutcome] = []
+        for directive in plan.directives:
+            device = fleet[directive.device_index]
+            timeline = per_device[directive.device_index]
+            if timeline.main_end_s > horizon_s + 1e-9:
+                raise SimulationError(
+                    f"horizon {horizon} frames ends before device "
+                    f"{directive.device_index} finishes at {timeline.main_end_s:.2f}s"
+                )
+            ledger = UptimeLedger()
+            po_monitor = self._idle_po_count(
+                device, directive, timeline, plan.announce_frame, horizon
+            )
+            ledger.add(PowerState.PO_MONITOR, po_monitor * airtime.po_monitor_s)
+            ledger.add(PowerState.PAGING_RX, timeline.page_rx_s)
+            if directive.method is WakeMethod.DRX_ADAPTATION:
+                ledger.add(PowerState.PAGING_RX, timeline.adaptation_paging_s)
+                ra2 = self._timings.random_access.base_duration_s(device.coverage)
+                ledger.add(PowerState.RANDOM_ACCESS, ra2)
+                ledger.add(
+                    PowerState.RRC_SIGNALLING, timeline.adaptation_episode_s - ra2
+                )
+            ledger.add(PowerState.RANDOM_ACCESS, timeline.ra_s)
+            ledger.add(PowerState.RRC_SIGNALLING, airtime.rrc_setup_s)
+            wait_s = timeline.start_s - timeline.ready_s
+            if wait_s < -1e-9:
+                raise SimulationError(
+                    f"negative wait for device {directive.device_index}"
+                )  # pragma: no cover - guarded by start computation
+            ledger.add(PowerState.CONNECTED_WAIT, max(0.0, wait_s))
+            ledger.add(PowerState.CONNECTED_RX, timeline.rx_s)
+            ledger.add(PowerState.RRC_SIGNALLING, timeline.tail_s)
+            totals = ledger.totals
+            ledger.add(
+                PowerState.DEEP_SLEEP,
+                max(0.0, horizon_s - totals.light_sleep_s - totals.connected_s),
+            )
+            outcomes.append(
+                DeviceOutcome(
+                    device_index=directive.device_index,
+                    transmission_index=directive.transmission_index,
+                    ledger=ledger,
+                    ready_s=timeline.ready_s,
+                    wait_s=max(0.0, wait_s),
+                    updated_s=timeline.start_s + timeline.rx_s,
+                )
+            )
+        outcomes.sort(key=lambda outcome: outcome.device_index)
+        return outcomes, horizon
+
+    def _tail_s(self, directive: DeviceDirective) -> float:
+        """Post-payload signalling: restore (DA-SC only) + release."""
+        tail = self._timings.release_s()
+        if directive.method is WakeMethod.DRX_ADAPTATION:
+            tail += self._timings.restore_s()
+        return tail
+
+    @staticmethod
+    def _resolve_horizon(horizon_frames: Optional[int], end_s: float) -> int:
+        needed = _frame_after(end_s) + 1
+        if horizon_frames is None:
+            return needed
+        if horizon_frames < needed:
+            raise SimulationError(
+                f"horizon {horizon_frames} frames ends before the campaign "
+                f"does ({needed} frames needed)"
+            )
+        return horizon_frames
+
+    def _idle_po_count(
+        self,
+        device: NbIotDevice,
+        directive: DeviceDirective,
+        timeline: "_DeviceTimeline",
+        announce_frame: int,
+        horizon: int,
+    ) -> int:
+        """Paging occasions monitored while idle (excluding page events)."""
+        preferred = device.schedule
+        main_busy_start = (
+            directive.connect_frame
+            if directive.method is WakeMethod.EXTENDED_PAGE_TIMER
+            else directive.page_frame
+        )
+        main_busy_end = _frame_after(timeline.main_end_s)
+
+        if directive.method is WakeMethod.DRX_ADAPTATION:
+            adapted = pattern_for(
+                device.drx.ue_id, directive.adapted_cycle, device.drx.nb
+            ).schedule
+            a = directive.adaptation_page_frame
+            count = preferred.count_in(announce_frame, a)
+            count += adapted.count_in(
+                timeline.adaptation_busy_end_f + 1, main_busy_start
+            )
+            count += preferred.count_in(main_busy_end + 1, horizon)
+            return count
+
+        count = preferred.count_in(announce_frame, horizon)
+        count -= preferred.count_in(main_busy_start, main_busy_end + 1)
+        if directive.method is WakeMethod.EXTENDED_PAGE_TIMER:
+            # The PO carrying the extended page is charged as paging
+            # reception, not monitoring (it lies outside the busy span).
+            count -= 1
+        return count
+
+
+class _DeviceTimeline:
+    """Mutable scratch space for one device during execution."""
+
+    __slots__ = (
+        "directive",
+        "page_rx_s",
+        "ra_s",
+        "ready_s",
+        "adaptation_paging_s",
+        "adaptation_episode_s",
+        "adaptation_busy_end_f",
+        "start_s",
+        "rx_s",
+        "tail_s",
+        "main_end_s",
+    )
+
+    def __init__(self, directive: DeviceDirective) -> None:
+        self.directive = directive
+        self.page_rx_s = 0.0
+        self.ra_s = 0.0
+        self.ready_s = 0.0
+        self.adaptation_paging_s = 0.0
+        self.adaptation_episode_s = 0.0
+        self.adaptation_busy_end_f = 0
+        self.start_s = 0.0
+        self.rx_s = 0.0
+        self.tail_s = 0.0
+        self.main_end_s = 0.0

@@ -1,0 +1,140 @@
+"""Campaign results and the paper's comparison metrics.
+
+A campaign result holds one :class:`~repro.energy.UptimeLedger` per
+device plus the realised transmission times. The fleet-level summary
+exposes exactly what Fig. 6 plots — relative light-sleep and
+connected-mode uptime increases over a unicast baseline evaluated on
+the *same* fleet over the *same* horizon — and what Fig. 7 plots (the
+transmission count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.plan import MulticastPlan
+from repro.energy.ledger import RelativeIncrease, UptimeLedger, UptimeTotals
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class DeviceOutcome:
+    """One device's campaign outcome.
+
+    Attributes:
+        device_index: fleet index.
+        transmission_index: transmission that served the device.
+        ledger: time spent per power state over the whole horizon.
+        ready_s: when the device was connected and ready for the data.
+        wait_s: connected idle time until its transmission actually began.
+        updated_s: when the device finished receiving the payload.
+    """
+
+    device_index: int
+    transmission_index: int
+    ledger: UptimeLedger
+    ready_s: float
+    wait_s: float
+    updated_s: float
+
+    @property
+    def totals(self) -> UptimeTotals:
+        """The device's uptime split."""
+        return self.ledger.totals
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Fleet-aggregated uptime (the sums Fig. 6 ratios are built from)."""
+
+    light_sleep_s: float
+    connected_s: float
+    sleep_s: float
+    energy_mj: float
+
+    @property
+    def totals(self) -> UptimeTotals:
+        """The aggregate as an :class:`UptimeTotals`."""
+        return UptimeTotals(
+            light_sleep_s=self.light_sleep_s,
+            connected_s=self.connected_s,
+            sleep_s=self.sleep_s,
+        )
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything measured from executing one plan on one fleet."""
+
+    plan: MulticastPlan
+    horizon_frames: int
+    outcomes: Tuple[DeviceOutcome, ...]
+    actual_start_s: Tuple[float, ...]
+    energy_profile: EnergyProfile = DEFAULT_PROFILE
+
+    @property
+    def mechanism(self) -> str:
+        """Name of the mechanism that produced the plan."""
+        return self.plan.mechanism
+
+    @property
+    def n_transmissions(self) -> int:
+        """The paper's bandwidth-utilisation proxy."""
+        return self.plan.n_transmissions
+
+    @cached_property
+    def fleet(self) -> FleetSummary:
+        """Fleet-level sums across all devices."""
+        light = connected = sleep = energy = 0.0
+        for outcome in self.outcomes:
+            totals = outcome.totals
+            light += totals.light_sleep_s
+            connected += totals.connected_s
+            sleep += totals.sleep_s
+            energy += outcome.ledger.energy_mj(self.energy_profile)
+        return FleetSummary(
+            light_sleep_s=light,
+            connected_s=connected,
+            sleep_s=sleep,
+            energy_mj=energy,
+        )
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean connected wait before the data started (~TI/2 for the
+        windowed mechanisms, 0 for unicast)."""
+        return float(np.mean([o.wait_s for o in self.outcomes]))
+
+    def relative_uptime_increase(
+        self, baseline: "CampaignResult"
+    ) -> RelativeIncrease:
+        """Fig. 6's metric: fleet uptime increase over ``baseline``.
+
+        The baseline must cover the same fleet over the same horizon,
+        otherwise light-sleep PO counts are not comparable.
+        """
+        if len(baseline.outcomes) != len(self.outcomes):
+            raise SimulationError(
+                "baseline covers a different fleet "
+                f"({len(baseline.outcomes)} vs {len(self.outcomes)} devices)"
+            )
+        if baseline.horizon_frames != self.horizon_frames:
+            raise SimulationError(
+                "baseline horizon differs "
+                f"({baseline.horizon_frames} vs {self.horizon_frames} frames); "
+                "evaluate the baseline with horizon_frames="
+                f"{self.horizon_frames}"
+            )
+        return self.fleet.totals.relative_increase_over(baseline.fleet.totals)
+
+    def energy_increase_over(self, baseline: "CampaignResult") -> float:
+        """Fractional fleet energy increase over ``baseline``."""
+        base = baseline.fleet.energy_mj
+        if base <= 0:
+            raise SimulationError("baseline energy is zero")
+        return (self.fleet.energy_mj - base) / base

@@ -1,0 +1,118 @@
+"""Monte-Carlo harness.
+
+The paper averages every metric over 100 runs (Sec. IV-A). The harness
+spawns one independent child generator per run from a root seed, maps a
+caller-supplied run function over them, and aggregates each returned
+metric into a :class:`RunStatistics` (mean, standard deviation, 95 %
+confidence half-width).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.rng import spawn_generators
+
+#: A run function: (rng, run_index) -> {metric name: value}.
+RunFn = Callable[[np.random.Generator, int], Mapping[str, float]]
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Aggregate of one metric across runs."""
+
+    values: np.ndarray
+
+    @property
+    def n(self) -> int:
+        """Number of runs."""
+        return int(self.values.size)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return float(np.mean(self.values))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1; 0 for a single run)."""
+        if self.values.size < 2:
+            return 0.0
+        return float(np.std(self.values, ddof=1))
+
+    @property
+    def sem(self) -> float:
+        """Standard error of the mean."""
+        if self.values.size < 2:
+            return 0.0
+        return self.std / math.sqrt(self.values.size)
+
+    @property
+    def ci95_halfwidth(self) -> float:
+        """Half-width of the normal-approximation 95 % CI."""
+        return 1.96 * self.sem
+
+    @property
+    def min(self) -> float:
+        """Smallest observed value."""
+        return float(np.min(self.values))
+
+    @property
+    def max(self) -> float:
+        """Largest observed value."""
+        return float(np.max(self.values))
+
+    def __str__(self) -> str:
+        return f"{self.mean:.4g} ± {self.ci95_halfwidth:.2g} (n={self.n})"
+
+
+class MonteCarlo:
+    """Runs a seeded experiment ``n_runs`` times and aggregates metrics."""
+
+    def __init__(self, n_runs: int = 100, seed: int = 2018) -> None:
+        """``seed`` defaults to the paper's publication year, because a
+        default seed has to be something."""
+        if n_runs < 1:
+            raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+        self._n_runs = n_runs
+        self._seed = seed
+
+    @property
+    def n_runs(self) -> int:
+        """Number of repetitions."""
+        return self._n_runs
+
+    @property
+    def seed(self) -> int:
+        """Root seed."""
+        return self._seed
+
+    def run(self, fn: RunFn) -> Dict[str, RunStatistics]:
+        """Execute ``fn`` once per run and aggregate every metric."""
+        collected: Dict[str, List[float]] = {}
+        expected_keys = None
+        for run_index, rng in enumerate(spawn_generators(self._seed, self._n_runs)):
+            metrics = fn(rng, run_index)
+            if not metrics:
+                raise ConfigurationError(
+                    f"run {run_index} returned no metrics"
+                )
+            keys = frozenset(metrics)
+            if expected_keys is None:
+                expected_keys = keys
+            elif keys != expected_keys:
+                raise ConfigurationError(
+                    f"run {run_index} returned keys {sorted(keys)}, "
+                    f"expected {sorted(expected_keys)}"
+                )
+            for key, value in metrics.items():
+                collected.setdefault(key, []).append(float(value))
+        return {
+            key: RunStatistics(values=np.asarray(vals, dtype=np.float64))
+            for key, vals in collected.items()
+        }

@@ -1,0 +1,379 @@
+"""Event-driven plan replay.
+
+Re-executes a :class:`~repro.core.plan.MulticastPlan` on the
+discrete-event engine, charging exactly the same durations as the
+arithmetic :class:`~repro.sim.executor.CampaignExecutor`. The
+integration tests assert the two produce identical ledgers; examples
+use this executor when an inspectable event trace is worth the slower
+run time.
+
+Devices are lazy: each keeps at most one pending PO_MONITOR event, so
+the queue stays small even over multi-hour horizons.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.plan import DeviceDirective, MulticastPlan, WakeMethod
+from repro.devices.fleet import Fleet
+from repro.drx.paging import pattern_for
+from repro.drx.schedule import PoSchedule
+from repro.energy.ledger import UptimeLedger
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.energy.states import PowerState
+from repro.errors import SimulationError
+from repro.rrc.procedures import ProcedureTimings
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, EventKind
+from repro.sim.executor import _frame_after
+from repro.sim.metrics import CampaignResult, DeviceOutcome
+from repro.timebase import frames_to_seconds
+
+#: TX_START must sort after CONNECTION_READY at the same instant.
+_PRIORITY_READY = 0
+_PRIORITY_TX = 1
+
+
+class EventDrivenCampaign:
+    """Replays one plan on the event engine."""
+
+    def __init__(
+        self,
+        fleet: Fleet,
+        plan: MulticastPlan,
+        timings: ProcedureTimings = ProcedureTimings(),
+        energy_profile: EnergyProfile = DEFAULT_PROFILE,
+        trace: bool = False,
+    ) -> None:
+        self._fleet = fleet
+        self._plan = plan
+        self._timings = timings
+        self._profile = energy_profile
+        self._sim = Simulator(trace=trace)
+        self._devices: Dict[int, _DeviceActor] = {}
+        self._gates: Dict[int, _TransmissionGate] = {}
+
+    @property
+    def simulator(self) -> Simulator:
+        """The underlying engine (exposes the trace when enabled)."""
+        return self._sim
+
+    def run(
+        self,
+        horizon_frames: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CampaignResult:
+        """Execute the plan and return the campaign result."""
+        transmissions = {t.index: t for t in self._plan.transmissions}
+        for transmission in self._plan.transmissions:
+            self._gates[transmission.index] = _TransmissionGate(
+                self, transmission.index
+            )
+        for directive in self._plan.directives:
+            actor = _DeviceActor(self, directive, rng)
+            self._devices[directive.device_index] = actor
+            self._gates[directive.transmission_index].members.append(actor)
+        for actor in self._devices.values():
+            actor.start()
+
+        # Phase 1: run until every device finished its campaign. Idle PO
+        # chains self-perpetuate, so each round is bounded; the bound
+        # grows only while some device is still mid-campaign (realised
+        # transmission starts can slip past the nominal frame by the
+        # stragglers' connect time).
+        bound_s = frames_to_seconds(self._plan.campaign_end_frame + 1)
+        for _round in range(1000):
+            self._sim.run(until_s=bound_s)
+            if all(a.main_end_s > 0.0 for a in self._devices.values()):
+                break
+            bound_s += 60.0
+        else:  # pragma: no cover - defensive
+            raise SimulationError("campaign did not complete within bounds")
+        end_s = max(actor.main_end_s for actor in self._devices.values())
+        horizon = self._resolve_horizon(horizon_frames, end_s)
+        horizon_s = frames_to_seconds(horizon)
+
+        # Phase 2: run the idle chains out to the horizon. PO charges are
+        # recorded as frames and filtered by the horizon at finalisation,
+        # so a phase-1 bound that overshot the horizon cannot overcharge.
+        self._sim.run(until_s=(horizon - 0.5) * 0.010)
+
+        outcomes = []
+        for device_index in sorted(self._devices):
+            actor = self._devices[device_index]
+            actor.finalise(horizon, horizon_s)
+            outcomes.append(actor.outcome())
+        return CampaignResult(
+            plan=self._plan,
+            horizon_frames=horizon,
+            outcomes=tuple(outcomes),
+            actual_start_s=tuple(
+                self._gates[t.index].start_s for t in self._plan.transmissions
+            ),
+            energy_profile=self._profile,
+        )
+
+    @staticmethod
+    def _resolve_horizon(horizon_frames: Optional[int], end_s: float) -> int:
+        needed = _frame_after(end_s) + 1
+        if horizon_frames is None:
+            return needed
+        if horizon_frames < needed:
+            raise SimulationError(
+                f"horizon {horizon_frames} frames ends before the campaign "
+                f"does ({needed} frames needed)"
+            )
+        return horizon_frames
+
+    # Internal accessors used by the actors/gates -----------------------
+    @property
+    def sim(self) -> Simulator:
+        return self._sim
+
+    @property
+    def plan(self) -> MulticastPlan:
+        return self._plan
+
+    @property
+    def fleet(self) -> Fleet:
+        return self._fleet
+
+    @property
+    def timings(self) -> ProcedureTimings:
+        return self._timings
+
+
+class _TransmissionGate:
+    """Starts a transmission once every group member is connected."""
+
+    def __init__(self, campaign: EventDrivenCampaign, index: int) -> None:
+        self._campaign = campaign
+        self._index = index
+        self.members: List[_DeviceActor] = []
+        self._ready = 0
+        self.start_s = 0.0
+
+    def member_ready(self) -> None:
+        self._ready += 1
+        if self._ready < len(self.members):
+            return
+        transmission = self._campaign.plan.transmissions[self._index]
+        nominal_s = frames_to_seconds(transmission.frame)
+        start_s = max(nominal_s, self._campaign.sim.now)
+        self.start_s = start_s
+        self._campaign.sim.schedule(
+            Event(start_s, EventKind.TX_START, payload={"tx": self._index}),
+            self._on_start,
+            priority=_PRIORITY_TX,
+        )
+
+    def _on_start(self, event: Event) -> None:
+        transmission = self._campaign.plan.transmissions[self._index]
+        rx_s = self._campaign.plan.payload_bytes * 8.0 / transmission.rate_bps
+        for member in self.members:
+            member.transmission_started(self.start_s)
+        self._campaign.sim.schedule(
+            Event(self.start_s + rx_s, EventKind.TX_END, payload={"tx": self._index}),
+            self._on_end,
+            priority=_PRIORITY_TX,
+        )
+
+    def _on_end(self, event: Event) -> None:
+        for member in self.members:
+            member.transmission_ended(event.time_s)
+
+
+class _DeviceActor:
+    """One device's state machine during the replay."""
+
+    def __init__(
+        self,
+        campaign: EventDrivenCampaign,
+        directive: DeviceDirective,
+        rng: Optional[np.random.Generator],
+    ) -> None:
+        self._campaign = campaign
+        self._directive = directive
+        self._rng = rng
+        self._device = campaign.fleet[directive.device_index]
+        self._preferred = self._device.schedule
+        self._grid: PoSchedule = self._preferred
+        self.ledger = UptimeLedger()
+        self.ready_s = 0.0
+        self.wait_s = 0.0
+        self.updated_s = 0.0
+        self.main_end_s = 0.0
+        self._monitor_scheduled = False
+        self._suspended = False
+        self._monitored_po_frames: List[int] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule the first PO at or after the announce frame."""
+        first = self._grid.first_at_or_after(self._campaign.plan.announce_frame)
+        self._schedule_monitor(first)
+
+    def _schedule_monitor(self, frame: int) -> None:
+        self._monitor_scheduled = True
+        self._campaign.sim.schedule(
+            Event(
+                frames_to_seconds(frame),
+                EventKind.PO_MONITOR,
+                device_index=self._directive.device_index,
+                payload={"frame": frame},
+            ),
+            self._on_po,
+            priority=_PRIORITY_READY,
+        )
+
+    # ------------------------------------------------------------------
+    # PO handling
+    # ------------------------------------------------------------------
+    def _on_po(self, event: Event) -> None:
+        self._monitor_scheduled = False
+        if self._suspended:
+            # A pending PO fired after the device connected (e.g. a
+            # preferred PO landing between T322 expiry and the release):
+            # the radio is in connected mode, nothing is monitored.
+            return
+        frame = event.payload["frame"]
+        directive = self._directive
+        airtime = self._campaign.timings.airtime
+
+        if (
+            directive.method is WakeMethod.DRX_ADAPTATION
+            and frame == directive.adaptation_page_frame
+        ):
+            self._run_adaptation_episode(frame)
+            return
+        if frame == directive.page_frame:
+            if directive.method is WakeMethod.EXTENDED_PAGE_TIMER:
+                self.ledger.add(PowerState.PAGING_RX, airtime.extended_paging_s)
+                # Priority -1: if the wake time collides with one of the
+                # device's own POs, the timer wins and the PO is skipped
+                # (the device is connecting, not monitoring).
+                self._campaign.sim.schedule(
+                    Event(
+                        frames_to_seconds(directive.connect_frame),
+                        EventKind.T322_EXPIRY,
+                        device_index=directive.device_index,
+                    ),
+                    self._on_t322,
+                    priority=-1,
+                )
+                # Normal DRX continues while T322 runs.
+                self._schedule_monitor(
+                    self._grid.first_at_or_after(frame + 1)
+                )
+                return
+            # Final page: receive it and connect.
+            self.ledger.add(PowerState.PAGING_RX, airtime.paging_message_s)
+            self._suspended = True
+            self._connect(frames_to_seconds(frame) + airtime.paging_message_s)
+            return
+
+        # An empty PO: light-sleep monitoring, carry on. Recorded as a
+        # frame and charged at finalisation (horizon-filtered).
+        self._monitored_po_frames.append(frame)
+        self._schedule_monitor(self._grid.first_at_or_after(frame + 1))
+
+    def _on_t322(self, event: Event) -> None:
+        """T322 fired: stop idle monitoring and connect."""
+        self._suspended = True
+        self._connect(event.time_s)
+
+    # ------------------------------------------------------------------
+    # Connection / adaptation
+    # ------------------------------------------------------------------
+    def _run_adaptation_episode(self, frame: int) -> None:
+        """DA-SC: page + RA + setup + reconfiguration + release."""
+        timings = self._campaign.timings
+        airtime = timings.airtime
+        self.ledger.add(PowerState.PAGING_RX, airtime.paging_message_s)
+        episode = timings.adaptation_episode_s(self._device.coverage, self._rng)
+        ra = timings.random_access.base_duration_s(self._device.coverage)
+        self.ledger.add(PowerState.RANDOM_ACCESS, ra)
+        self.ledger.add(PowerState.RRC_SIGNALLING, episode - ra)
+        # Switch to the adapted grid; resume monitoring after the episode.
+        assert self._directive.adapted_cycle is not None
+        self._grid = pattern_for(
+            self._device.drx.ue_id,
+            self._directive.adapted_cycle,
+            self._device.drx.nb,
+        ).schedule
+        busy_end = _frame_after(
+            frames_to_seconds(frame) + airtime.paging_message_s + episode
+        )
+        self._schedule_monitor(self._grid.first_at_or_after(busy_end + 1))
+
+    def _connect(self, at_s: float) -> None:
+        """Random access + RRC setup, then notify the gate."""
+        timings = self._campaign.timings
+        ra = timings.random_access.perform(self._device.coverage, self._rng)
+        self.ledger.add(PowerState.RANDOM_ACCESS, ra.duration_s)
+        self.ledger.add(PowerState.RRC_SIGNALLING, timings.airtime.rrc_setup_s)
+        self.ready_s = at_s + ra.duration_s + timings.airtime.rrc_setup_s
+        self._campaign.sim.schedule(
+            Event(
+                self.ready_s,
+                EventKind.CONNECTION_READY,
+                device_index=self._directive.device_index,
+            ),
+            self._on_ready,
+            priority=_PRIORITY_READY,
+        )
+
+    def _on_ready(self, event: Event) -> None:
+        self._campaign._gates[self._directive.transmission_index].member_ready()
+
+    # ------------------------------------------------------------------
+    # Transmission callbacks
+    # ------------------------------------------------------------------
+    def transmission_started(self, start_s: float) -> None:
+        self.wait_s = max(0.0, start_s - self.ready_s)
+        self.ledger.add(PowerState.CONNECTED_WAIT, self.wait_s)
+
+    def transmission_ended(self, end_s: float) -> None:
+        timings = self._campaign.timings
+        rx_s = end_s - (self.ready_s + self.wait_s)
+        self.ledger.add(PowerState.CONNECTED_RX, rx_s)
+        self.updated_s = end_s
+        tail = timings.release_s()
+        if self._directive.method is WakeMethod.DRX_ADAPTATION:
+            tail += timings.restore_s()
+            self._grid = self._preferred  # cycle restored
+        self.ledger.add(PowerState.RRC_SIGNALLING, tail)
+        self.main_end_s = end_s + tail
+        self._suspended = False
+        self._schedule_monitor(
+            self._grid.first_at_or_after(_frame_after(self.main_end_s) + 1)
+        )
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def finalise(self, horizon: int, horizon_s: float) -> None:
+        airtime = self._campaign.timings.airtime
+        monitored = sum(1 for f in self._monitored_po_frames if f < horizon)
+        self.ledger.add(PowerState.PO_MONITOR, monitored * airtime.po_monitor_s)
+        totals = self.ledger.totals
+        self.ledger.add(
+            PowerState.DEEP_SLEEP,
+            max(0.0, horizon_s - totals.light_sleep_s - totals.connected_s),
+        )
+
+    def outcome(self) -> DeviceOutcome:
+        return DeviceOutcome(
+            device_index=self._directive.device_index,
+            transmission_index=self._directive.transmission_index,
+            ledger=self.ledger,
+            ready_s=self.ready_s,
+            wait_s=self.wait_s,
+            updated_s=self.updated_s,
+        )

@@ -1,0 +1,174 @@
+"""Integer radio-frame arithmetic.
+
+The whole library keeps simulated time as an integer number of 10 ms
+radio frames. This module provides the constants, conversions and the
+:class:`FrameWindow` half-open interval type used by every scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import TimebaseError
+
+#: Milliseconds per LTE/NB-IoT subframe.
+MS_PER_SUBFRAME = 1
+
+#: Subframes per radio frame.
+SUBFRAMES_PER_FRAME = 10
+
+#: Milliseconds per radio frame.
+MS_PER_FRAME = MS_PER_SUBFRAME * SUBFRAMES_PER_FRAME
+
+#: Radio frames per hyperframe (the Hyper-SFN increments every 1024 frames).
+FRAMES_PER_HYPERFRAME = 1024
+
+#: The System Frame Number wraps modulo this period (10 bits).
+SFN_PERIOD = 1024
+
+
+def validate_frame(frame: int, *, name: str = "frame") -> int:
+    """Return ``frame`` if it is a non-negative integer, else raise.
+
+    NumPy integer scalars are accepted and normalised to built-in ``int``
+    so downstream arithmetic never silently overflows a fixed-width dtype.
+    """
+    if isinstance(frame, bool) or not isinstance(frame, (int,)) and not _is_integer_like(frame):
+        raise TimebaseError(f"{name} must be an integer frame count, got {frame!r}")
+    value = int(frame)
+    if value < 0:
+        raise TimebaseError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def _is_integer_like(value: object) -> bool:
+    """True for NumPy integer scalars and other ``__index__`` providers."""
+    try:
+        import operator
+
+        operator.index(value)  # type: ignore[arg-type]
+    except TypeError:
+        return False
+    return True
+
+
+def frames_to_ms(frames: int) -> int:
+    """Convert a frame count to milliseconds (exact)."""
+    return int(frames) * MS_PER_FRAME
+
+
+def frames_to_seconds(frames: int) -> float:
+    """Convert a frame count to seconds."""
+    return int(frames) * MS_PER_FRAME / 1000.0
+
+
+def ms_to_frames(ms: float, *, strict: bool = False) -> int:
+    """Convert milliseconds to frames.
+
+    With ``strict=True`` the duration must be an exact multiple of 10 ms;
+    otherwise it is rounded up (ceiling), which is the conservative choice
+    when budgeting airtime.
+    """
+    if ms < 0:
+        raise TimebaseError(f"duration must be non-negative, got {ms} ms")
+    frames = ms / MS_PER_FRAME
+    if strict and not math.isclose(frames, round(frames), abs_tol=1e-9):
+        raise TimebaseError(f"{ms} ms is not a whole number of {MS_PER_FRAME} ms frames")
+    return int(math.ceil(frames - 1e-9))
+
+
+def seconds_to_frames(seconds: float, *, strict: bool = False) -> int:
+    """Convert seconds to frames; see :func:`ms_to_frames` for ``strict``."""
+    return ms_to_frames(seconds * 1000.0, strict=strict)
+
+
+def sfn_of(frame: int) -> int:
+    """System Frame Number (0..1023) of an absolute frame index."""
+    return validate_frame(frame) % SFN_PERIOD
+
+
+def hyperframe_of(frame: int) -> int:
+    """Hyper-SFN (hyperframe index) of an absolute frame index."""
+    return validate_frame(frame) // FRAMES_PER_HYPERFRAME
+
+
+def subframe_count(frames: int) -> int:
+    """Number of 1 ms subframes in ``frames`` radio frames."""
+    return int(frames) * SUBFRAMES_PER_FRAME
+
+
+@dataclass(frozen=True)
+class FrameWindow:
+    """A half-open interval of radio frames ``[start, end)``.
+
+    Windows are the unit of grouping throughout the paper: a multicast
+    transmission at frame ``end`` covers every device with a paging
+    occasion inside the window of length equal to the inactivity timer.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        start = validate_frame(self.start, name="start")
+        end = validate_frame(self.end, name="end")
+        if end < start:
+            raise TimebaseError(f"window end {end} precedes start {start}")
+        object.__setattr__(self, "start", start)
+        object.__setattr__(self, "end", end)
+
+    @property
+    def length(self) -> int:
+        """Window length in frames."""
+        return self.end - self.start
+
+    @property
+    def last_frame(self) -> int:
+        """The last frame inside the window (``end - 1``).
+
+        The paper schedules the multicast transmission "at the last frame"
+        of the selected window (Sec. III-A).
+        """
+        if self.length == 0:
+            raise TimebaseError("empty window has no last frame")
+        return self.end - 1
+
+    def contains(self, frame: int) -> bool:
+        """True if ``frame`` lies inside the half-open interval."""
+        return self.start <= frame < self.end
+
+    def overlaps(self, other: "FrameWindow") -> bool:
+        """True if the two half-open windows share at least one frame.
+
+        An empty window contains no frame, so it overlaps nothing (not
+        even a window that spans its start position).
+        """
+        if self.length == 0 or other.length == 0:
+            return False
+        return self.start < other.end and other.start < self.end
+
+    def shifted(self, offset: int) -> "FrameWindow":
+        """A copy of the window translated by ``offset`` frames."""
+        return FrameWindow(self.start + offset, self.end + offset)
+
+    def intersection(self, other: "FrameWindow") -> "FrameWindow":
+        """The overlapping sub-window (empty window at ``start`` if disjoint)."""
+        lo = max(self.start, other.start)
+        hi = min(self.end, other.end)
+        if hi <= lo:
+            return FrameWindow(lo, lo)
+        return FrameWindow(lo, hi)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self.start, self.end))
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.start}, {self.end}) frames "
+            f"({frames_to_seconds(self.start):.2f}s..{frames_to_seconds(self.end):.2f}s)"
+        )

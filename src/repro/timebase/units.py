@@ -1,0 +1,55 @@
+"""Payload-size and human-readable formatting helpers.
+
+The paper evaluates firmware payloads of 100 KB, 1 MB and 10 MB. We use
+decimal multiples (as white papers and the NB-IoT literature do) but also
+expose binary multiples for completeness.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+#: Decimal kilobyte (the unit the paper's "100KB" uses).
+KILOBYTE = 1_000
+
+#: Binary kibibyte.
+KIBIBYTE = 1_024
+
+#: Decimal megabyte.
+MEGABYTE = 1_000_000
+
+#: Binary mebibyte.
+MEBIBYTE = 1_048_576
+
+
+def bits_of(num_bytes: int) -> int:
+    """Number of bits in ``num_bytes`` bytes (validating non-negativity)."""
+    if num_bytes < 0:
+        raise ConfigurationError(f"byte count must be non-negative, got {num_bytes}")
+    return int(num_bytes) * 8
+
+
+def format_bytes(num_bytes: int) -> str:
+    """Render a byte count the way the paper writes it (100KB, 1MB, 10MB)."""
+    if num_bytes < 0:
+        raise ConfigurationError(f"byte count must be non-negative, got {num_bytes}")
+    if num_bytes >= MEGABYTE and num_bytes % MEGABYTE == 0:
+        return f"{num_bytes // MEGABYTE}MB"
+    if num_bytes >= KILOBYTE and num_bytes % KILOBYTE == 0:
+        return f"{num_bytes // KILOBYTE}KB"
+    return f"{num_bytes}B"
+
+
+def format_duration(seconds: float) -> str:
+    """Human-readable duration (``1h02m``, ``3m20s``, ``12.5s``, ``80ms``)."""
+    if seconds < 0:
+        raise ConfigurationError(f"duration must be non-negative, got {seconds}")
+    if seconds < 1.0:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60.0:
+        return f"{seconds:.1f}s"
+    minutes, rem = divmod(seconds, 60.0)
+    if minutes < 60:
+        return f"{int(minutes)}m{rem:02.0f}s"
+    hours, minutes = divmod(int(minutes), 60)
+    return f"{hours}h{minutes:02d}m"

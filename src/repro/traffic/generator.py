@@ -1,0 +1,95 @@
+"""Fleet generation from a traffic mixture.
+
+Sampling is fully driven by a caller-supplied :class:`numpy.random.Generator`
+so Monte-Carlo runs are reproducible and independent (the harness spawns
+one child generator per run via :mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.devices.battery import Battery
+from repro.devices.device import NbIotDevice
+from repro.devices.fleet import Fleet
+from repro.drx.paging import NB
+from repro.errors import ConfigurationError
+from repro.phy.coverage import CoverageClass
+from repro.traffic.mixtures import TrafficMixture
+
+#: IMSIs are drawn from this many distinct values (a national operator range).
+_IMSI_BASE = 234_150_000_000_000
+_IMSI_RANGE = 10_000_000
+
+
+@dataclass(frozen=True)
+class CoverageMix:
+    """Shares of devices per coverage class (must sum to 1)."""
+
+    normal: float = 1.0
+    robust: float = 0.0
+    extreme: float = 0.0
+
+    def __post_init__(self) -> None:
+        total = self.normal + self.robust + self.extreme
+        if abs(total - 1.0) > 1e-9:
+            raise ConfigurationError(f"coverage shares must sum to 1, got {total}")
+        if min(self.normal, self.robust, self.extreme) < 0:
+            raise ConfigurationError("coverage shares must be non-negative")
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``n`` coverage classes."""
+        classes = np.array(
+            [CoverageClass.NORMAL, CoverageClass.ROBUST, CoverageClass.EXTREME]
+        )
+        probs = np.array([self.normal, self.robust, self.extreme])
+        return rng.choice(classes, size=n, p=probs)
+
+
+#: The paper's single-cell evaluation does not model deep-coverage
+#: devices, so the default places everyone in normal coverage.
+UNIFORM_NORMAL_COVERAGE = CoverageMix()
+
+#: A more physical urban split used by the coverage ablation.
+URBAN_COVERAGE = CoverageMix(normal=0.80, robust=0.15, extreme=0.05)
+
+
+def generate_fleet(
+    n: int,
+    mixture: TrafficMixture,
+    rng: np.random.Generator,
+    *,
+    coverage_mix: CoverageMix = UNIFORM_NORMAL_COVERAGE,
+    nb: NB = NB.ONE_T,
+    battery: Optional[Battery] = None,
+) -> Fleet:
+    """Sample a fleet of ``n`` devices from ``mixture``.
+
+    IMSIs are drawn without replacement from an operator-sized range, so
+    UE_ID collisions (devices sharing paging occasions) occur at their
+    natural rate rather than never.
+    """
+    if n < 1:
+        raise ConfigurationError(f"fleet size must be >= 1, got {n}")
+    if n > _IMSI_RANGE:
+        raise ConfigurationError(
+            f"fleet size {n} exceeds the IMSI pool ({_IMSI_RANGE})"
+        )
+    imsis = rng.choice(_IMSI_RANGE, size=n, replace=False) + _IMSI_BASE
+    draws = mixture.sample(n, rng)
+    coverages = coverage_mix.sample(n, rng)
+    devices = [
+        NbIotDevice.build(
+            imsi=int(imsis[i]),
+            cycle=cycle,
+            coverage=coverages[i],
+            category=category,
+            nb=nb,
+            battery=battery,
+        )
+        for i, (category, cycle) in enumerate(draws)
+    ]
+    return Fleet(devices)

@@ -1,0 +1,54 @@
+"""Smoke tests: the shipped examples must stay runnable.
+
+The two fastest examples run end-to-end; the heavier sweeps are compile-
+checked so a syntax or import regression cannot ship.
+"""
+
+import pathlib
+import py_compile
+import runpy
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "firmware_rollout.py",
+        "tradeoff_explorer.py",
+        "custom_mechanism.py",
+        "mechanism_walkthrough.py",
+        "battery_lifetime.py",
+    } <= names
+
+
+def test_quickstart_runs(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "mechanism" in out
+    assert "dr-sc" in out and "da-sc" in out and "dr-si" in out
+
+
+def test_walkthrough_runs(capsys):
+    runpy.run_path(
+        str(EXAMPLES / "mechanism_walkthrough.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "DA-SC walkthrough" in out
+    assert "tx_start" in out
+
+
+@pytest.mark.parametrize(
+    "script",
+    [
+        "firmware_rollout.py",
+        "tradeoff_explorer.py",
+        "custom_mechanism.py",
+        "battery_lifetime.py",
+    ],
+)
+def test_heavy_examples_compile(script):
+    py_compile.compile(str(EXAMPLES / script), doraise=True)

@@ -1,0 +1,91 @@
+"""Cross-validation: arithmetic executor == event-driven replay.
+
+The two executors implement the same campaign semantics through
+completely different code paths (closed-form timeline accounting vs a
+discrete-event state machine). Agreement across mechanisms and random
+fleets is strong evidence both are right; disagreement has caught real
+off-by-one-PO bugs during development.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DaScMechanism,
+    DrScMechanism,
+    DrSiMechanism,
+    UnicastBaseline,
+)
+from repro.core.base import PlanningContext
+from repro.energy.states import PowerState
+from repro.sim.executor import CampaignExecutor
+from repro.sim.replay import EventDrivenCampaign
+from repro.traffic.generator import generate_fleet
+from repro.traffic.mixtures import MODERATE_EDRX_MIXTURE, PAPER_DEFAULT_MIXTURE
+
+MECHANISMS = [DrScMechanism, DaScMechanism, DrSiMechanism, UnicastBaseline]
+
+
+def _compare(fleet, plan, horizon=None):
+    analytic = CampaignExecutor().execute(fleet, plan, horizon_frames=horizon)
+    replay = EventDrivenCampaign(fleet, plan).run(
+        horizon_frames=analytic.horizon_frames
+    )
+    assert replay.horizon_frames == analytic.horizon_frames
+    assert len(replay.outcomes) == len(analytic.outcomes)
+    for a, b in zip(analytic.outcomes, replay.outcomes):
+        assert a.device_index == b.device_index
+        assert b.ready_s == pytest.approx(a.ready_s, abs=1e-9)
+        assert b.wait_s == pytest.approx(a.wait_s, abs=1e-9)
+        assert b.updated_s == pytest.approx(a.updated_s, abs=1e-9)
+        for state in PowerState:
+            assert b.ledger.seconds_in(state) == pytest.approx(
+                a.ledger.seconds_in(state), abs=1e-6
+            ), f"device {a.device_index} disagrees on {state}"
+    np.testing.assert_allclose(
+        replay.actual_start_s, analytic.actual_start_s, atol=1e-9
+    )
+    return analytic, replay
+
+
+@pytest.mark.parametrize("mechanism_cls", MECHANISMS)
+def test_equivalence_per_mechanism(mechanism_cls, moderate_fleet, context):
+    rng = np.random.default_rng(99)
+    plan = mechanism_cls().plan(moderate_fleet, context, rng)
+    plan.validate(moderate_fleet)
+    _compare(moderate_fleet, plan)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_equivalence_random_fleets(seed):
+    rng = np.random.default_rng(seed)
+    fleet = generate_fleet(15, MODERATE_EDRX_MIXTURE, rng)
+    context = PlanningContext(payload_bytes=50_000)
+    for mechanism_cls in MECHANISMS:
+        plan = mechanism_cls().plan(fleet, context, rng)
+        _compare(fleet, plan)
+
+
+def test_equivalence_paper_mixture_small():
+    rng = np.random.default_rng(5)
+    fleet = generate_fleet(12, PAPER_DEFAULT_MIXTURE, rng)
+    context = PlanningContext(payload_bytes=100_000)
+    for mechanism_cls in MECHANISMS:
+        plan = mechanism_cls().plan(fleet, context, rng)
+        _compare(fleet, plan)
+
+
+def test_replay_trace_is_coherent(moderate_fleet, context):
+    """The event trace tells the campaign story in time order."""
+    rng = np.random.default_rng(17)
+    plan = DaScMechanism().plan(moderate_fleet, context, rng)
+    campaign = EventDrivenCampaign(moderate_fleet, plan, trace=True)
+    campaign.run()
+    trace = campaign.simulator.trace
+    assert trace, "trace should not be empty"
+    times = [event.time_s for event in trace]
+    assert times == sorted(times)
+    kinds = {event.kind for event in trace}
+    from repro.sim.events import EventKind
+
+    assert EventKind.TX_START in kinds and EventKind.TX_END in kinds

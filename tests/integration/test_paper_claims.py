@@ -1,0 +1,167 @@
+"""Integration tests asserting the paper's qualitative claims hold.
+
+Each test pins one sentence of the paper's evaluation (Sec. IV) to a
+measured property of the reproduction. These are the tests that would
+fail if the reproduction stopped reproducing.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DaScMechanism,
+    DrScMechanism,
+    DrSiMechanism,
+    UnicastBaseline,
+)
+from repro.core.base import PlanningContext
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.uptime import compare_mechanisms_once
+from repro.sim.executor import CampaignExecutor
+from repro.traffic.generator import generate_fleet
+from repro.traffic.mixtures import PAPER_DEFAULT_MIXTURE
+from dataclasses import replace
+
+
+@pytest.fixture(scope="module")
+def fig6_metrics():
+    """A few Fig. 6 runs at a modest fleet size (module-scoped: reused)."""
+    config = replace(ExperimentConfig(), n_devices=150, n_runs=4)
+    collected = []
+    rng_master = np.random.SeedSequence(77)
+    for child in rng_master.spawn(config.n_runs):
+        collected.append(
+            compare_mechanisms_once(
+                np.random.default_rng(child), config, 1_000_000
+            )
+        )
+    return {
+        key: float(np.mean([m[key] for m in collected]))
+        for key in collected[0]
+    }
+
+
+class TestFig6aClaims:
+    def test_dr_sc_light_sleep_equals_unicast(self, fig6_metrics):
+        """'The DR-SC approach requires exactly the same uptime as the
+        unicast approach, as no extra POs are needed.'"""
+        assert abs(fig6_metrics["dr-sc/light_sleep"]) < 0.01
+
+    def test_dr_si_light_sleep_negligible(self, fig6_metrics):
+        """'The DR-SI introduces a negligible increase as only the
+        reception of the paging message is required.'"""
+        assert 0.0 <= fig6_metrics["dr-si/light_sleep"] < 0.02
+
+    def test_da_sc_largest_light_sleep(self, fig6_metrics):
+        """'The DA-SC induces a minor increase as additional POs are used
+        with the adapted DRX' — the largest of the three."""
+        assert (
+            fig6_metrics["da-sc/light_sleep"]
+            > fig6_metrics["dr-si/light_sleep"]
+            > fig6_metrics["dr-sc/light_sleep"]
+        )
+
+
+class TestFig6bClaims:
+    def test_da_sc_has_longest_connected_uptime(self, fig6_metrics):
+        """'DA-SC has the longest uptime, as it also needs to go through
+        the Random Access process ... to get the DRX cycle adjusted.'"""
+        assert (
+            fig6_metrics["da-sc/connected"] > fig6_metrics["dr-si/connected"]
+        )
+        assert fig6_metrics["da-sc/connected"] > fig6_metrics["dr-sc/connected"]
+
+    def test_all_connected_increases_positive_but_small(self, fig6_metrics):
+        for name in ("dr-sc", "da-sc", "dr-si"):
+            assert 0.0 < fig6_metrics[f"{name}/connected"] < 0.20
+
+    def test_overhead_shrinks_with_payload(self):
+        """'The overhead introduced by the signaling of DA-SC becomes
+        practically negligible as the multicast data size gets above 1MB.'"""
+        config = replace(ExperimentConfig(), n_devices=100, n_runs=2)
+        increases = {}
+        for payload in (100_000, 10_000_000):
+            runs = []
+            for child in np.random.SeedSequence(13).spawn(config.n_runs):
+                runs.append(
+                    compare_mechanisms_once(
+                        np.random.default_rng(child), config, payload
+                    )["da-sc/connected"]
+                )
+            increases[payload] = float(np.mean(runs))
+        assert increases[10_000_000] < increases[100_000]
+        assert increases[10_000_000] < 0.01
+
+    def test_mean_wait_about_half_ti(self):
+        """'They will wait for TI/2 on average for the multicast
+        transmission to start' — for the single-transmission mechanisms."""
+        config = replace(ExperimentConfig(), n_devices=120, n_runs=3)
+        waits = []
+        for child in np.random.SeedSequence(3).spawn(config.n_runs):
+            metrics = compare_mechanisms_once(
+                np.random.default_rng(child), config, 100_000
+            )
+            waits.append(metrics["dr-si/mean_wait_s"])
+        ti_half = config.inactivity_timer_s / 2
+        assert np.mean(waits) == pytest.approx(ti_half, rel=0.25)
+
+
+class TestFig7Claims:
+    def test_single_vs_many_transmissions(self, rng):
+        """DA-SC and DR-SI need one transmission by design; DR-SC many."""
+        fleet = generate_fleet(120, PAPER_DEFAULT_MIXTURE, rng)
+        context = PlanningContext(payload_bytes=100_000)
+        assert DaScMechanism().plan(fleet, context, rng).n_transmissions == 1
+        assert DrSiMechanism().plan(fleet, context, rng).n_transmissions == 1
+        dr_sc = DrScMechanism().plan(fleet, context, rng).n_transmissions
+        assert dr_sc > 10
+
+    def test_transmissions_sublinear_in_devices(self):
+        """'The number of required transmissions increases slower than
+        the number of devices.'"""
+        context = PlanningContext(payload_bytes=100_000)
+        means = {}
+        for n in (100, 400):
+            counts = []
+            for seed in range(3):
+                rng = np.random.default_rng(1000 + seed)
+                fleet = generate_fleet(n, PAPER_DEFAULT_MIXTURE, rng)
+                counts.append(
+                    DrScMechanism().plan(fleet, context, rng).n_transmissions
+                )
+            means[n] = np.mean(counts)
+        assert means[400] / means[100] < 4.0 * 0.85  # clearly sublinear
+        # Small fleets: around half the devices need their own transmission.
+        assert 0.35 <= means[100] / 100 <= 0.65
+
+    def test_dr_sc_more_efficient_than_unicast(self, rng):
+        fleet = generate_fleet(200, PAPER_DEFAULT_MIXTURE, rng)
+        context = PlanningContext(payload_bytes=100_000)
+        plan = DrScMechanism().plan(fleet, context, rng)
+        assert plan.n_transmissions < len(fleet)
+
+
+class TestEnergyOrderings:
+    def test_unicast_is_cheapest_in_connected_uptime(self, rng):
+        """'Unicast transmission ... is the most efficient way to receive
+        the data in terms of energy consumption from the device
+        perspective.'"""
+        fleet = generate_fleet(60, PAPER_DEFAULT_MIXTURE, rng)
+        context = PlanningContext(payload_bytes=100_000)
+        executor = CampaignExecutor()
+        plans = {
+            m.name: m.plan(fleet, context, rng)
+            for m in (DrScMechanism(), DaScMechanism(), DrSiMechanism(),
+                      UnicastBaseline())
+        }
+        provisional = {
+            name: executor.execute(fleet, plan) for name, plan in plans.items()
+        }
+        horizon = max(r.horizon_frames for r in provisional.values())
+        results = {
+            name: executor.execute(fleet, plan, horizon_frames=horizon)
+            for name, plan in plans.items()
+        }
+        unicast_connected = results["unicast"].fleet.connected_s
+        for name in ("dr-sc", "da-sc", "dr-si"):
+            assert results[name].fleet.connected_s >= unicast_connected

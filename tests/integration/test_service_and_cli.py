@@ -1,0 +1,115 @@
+"""Integration tests for the multicast service facade and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main
+from repro.core import DaScMechanism, DrScMechanism, DrSiMechanism
+from repro.multicast import FirmwareImage, OnDemandMulticastService
+from repro.traffic.generator import generate_fleet
+from repro.traffic.mixtures import MODERATE_EDRX_MIXTURE
+
+
+class TestOnDemandService:
+    def test_full_campaign_report(self, rng):
+        fleet = generate_fleet(25, MODERATE_EDRX_MIXTURE, rng)
+        service = OnDemandMulticastService(mechanism=DaScMechanism())
+        image = FirmwareImage(name="fw", version="1.2.3", size_bytes=100_000)
+        report = service.deliver(fleet, image, rng=rng)
+        assert report.plan.n_transmissions == 1
+        assert report.paging.total_pages >= len(fleet)  # adaptation re-pages
+        assert report.utilization.total_airtime_s > 0
+        summary = report.summary()
+        assert "da-sc" in summary
+        assert "100KB" in summary
+
+    def test_dr_si_report_packs_notifications(self, rng):
+        fleet = generate_fleet(25, MODERATE_EDRX_MIXTURE, rng)
+        service = OnDemandMulticastService(mechanism=DrSiMechanism())
+        image = FirmwareImage(name="fw", version="1.2.3", size_bytes=100_000)
+        report = service.deliver(fleet, image, rng=rng)
+        notified = sum(
+            len(m.mltc_transmission) for m in report.paging.messages
+        )
+        assert notified > 0
+        assert any(
+            not m.is_standards_compliant for m in report.paging.messages
+        )
+
+    def test_dr_sc_utilization_reflects_many_transmissions(self, rng):
+        fleet = generate_fleet(30, MODERATE_EDRX_MIXTURE, rng)
+        service = OnDemandMulticastService(mechanism=DrScMechanism())
+        image = FirmwareImage(name="fw", version="2", size_bytes=100_000)
+        report = service.deliver(fleet, image, rng=rng)
+        assert report.plan.n_transmissions > 1
+        expected_airtime = sum(
+            t.duration_frames for t in report.plan.transmissions
+        ) * 0.010
+        assert report.utilization.total_airtime_s == pytest.approx(
+            expected_airtime
+        )
+
+    def test_no_paging_overflow_in_normal_operation(self, rng):
+        fleet = generate_fleet(40, MODERATE_EDRX_MIXTURE, rng)
+        service = OnDemandMulticastService(mechanism=DaScMechanism())
+        image = FirmwareImage(name="fw", version="2", size_bytes=100_000)
+        report = service.deliver(fleet, image, rng=rng)
+        assert not report.paging.has_overflow
+
+
+class TestCli:
+    def test_demo_command(self, capsys):
+        exit_code = main(
+            ["demo", "--mechanism", "da-sc", "--devices", "20",
+             "--payload", "100000", "--seed", "3"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "mechanism" in out and "da-sc" in out
+
+    def test_figures_command_small(self, capsys):
+        exit_code = main(
+            ["figures", "--figure", "a5", "--runs", "1", "--devices", "30"]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "A5" in out
+
+    def test_figures_fig7_tiny(self, capsys):
+        # A tiny sweep proves the full pipeline end to end. A single
+        # sweep point must not attempt a line chart.
+        import repro.experiments.config as config_module
+        from dataclasses import replace
+
+        from repro.experiments.runner import render_all, run_with_charts
+
+        config = replace(
+            config_module.ExperimentConfig(),
+            n_runs=1,
+            device_counts=(50,),
+        )
+        tables, charts = run_with_charts(["7"], config)
+        assert "7" not in charts
+        text = render_all(tables, charts)
+        assert "Fig. 7" in text and "50" in text
+
+    def test_figures_fig7_sweep_renders_chart(self):
+        from dataclasses import replace
+
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import render_all, run_with_charts
+
+        config = replace(
+            ExperimentConfig(), n_runs=1, device_counts=(40, 80)
+        )
+        tables, charts = run_with_charts(["7"], config)
+        assert "7" in charts
+        rendered = render_all(tables, charts)
+        assert "*" in charts["7"]
+        assert "devices" in rendered
+
+    def test_unknown_target_rejected(self):
+        from repro.experiments.runner import run
+
+        with pytest.raises(ValueError):
+            run(["fig99"])

@@ -1,0 +1,69 @@
+"""Property-based tests for frame arithmetic and windows."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.timebase import (
+    FrameWindow,
+    frames_to_ms,
+    frames_to_seconds,
+    ms_to_frames,
+    seconds_to_frames,
+)
+
+frames = st.integers(min_value=0, max_value=10_000_000)
+
+
+class TestConversionProperties:
+    @given(frames)
+    def test_ms_roundtrip(self, n):
+        assert ms_to_frames(frames_to_ms(n), strict=True) == n
+
+    @given(frames)
+    def test_seconds_roundtrip(self, n):
+        assert seconds_to_frames(frames_to_seconds(n)) == n
+
+    @given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False))
+    def test_ceiling_never_undershoots(self, ms):
+        assert frames_to_ms(ms_to_frames(ms)) >= ms - 1e-6
+
+    @given(frames, frames)
+    def test_conversion_additive(self, a, b):
+        assert frames_to_ms(a + b) == frames_to_ms(a) + frames_to_ms(b)
+
+
+@st.composite
+def windows(draw):
+    start = draw(st.integers(min_value=0, max_value=100_000))
+    length = draw(st.integers(min_value=0, max_value=10_000))
+    return FrameWindow(start, start + length)
+
+
+class TestWindowProperties:
+    @given(windows())
+    def test_length_consistency(self, window):
+        assert window.length == len(list(window))
+        assert window.length == window.end - window.start
+
+    @given(windows(), windows())
+    def test_overlap_symmetric(self, a, b):
+        assert a.overlaps(b) == b.overlaps(a)
+
+    @given(windows(), windows())
+    def test_intersection_consistent_with_overlap(self, a, b):
+        inter = a.intersection(b)
+        assert (inter.length > 0) == a.overlaps(b)
+        if inter.length:
+            for frame in (inter.start, inter.end - 1):
+                assert a.contains(frame) and b.contains(frame)
+
+    @given(windows(), st.integers(min_value=0, max_value=1_000_000))
+    def test_shift_preserves_length(self, window, offset):
+        assert window.shifted(offset).length == window.length
+
+    @given(windows())
+    def test_contains_iff_in_iteration(self, window):
+        if window.length and window.length <= 200:
+            members = set(window)
+            for frame in range(window.start - 2, window.end + 2):
+                assert window.contains(frame) == (frame in members)

@@ -1,0 +1,162 @@
+"""Unit tests for multi-cell coordination and the reliability model."""
+
+import numpy as np
+import pytest
+
+from repro.core import DaScMechanism, DrScMechanism
+from repro.core.base import PlanningContext
+from repro.errors import ConfigurationError
+from repro.multicast.coordination import (
+    CoordinationEntity,
+    partition_fleet,
+)
+from repro.multicast.payload import FirmwareImage
+from repro.multicast.reliability import (
+    ReliabilityConfig,
+    expected_rounds,
+    simulate_repair_rounds,
+)
+from repro.traffic.generator import generate_fleet
+from repro.traffic.mixtures import MODERATE_EDRX_MIXTURE
+
+
+class TestPartition:
+    def test_partition_preserves_devices(self, rng):
+        fleet = generate_fleet(40, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(fleet, 4, rng)
+        assert sum(len(f) for f in cells.values()) == 40
+        imsis = {
+            d.identity.imsi for f in cells.values() for d in f
+        }
+        assert len(imsis) == 40
+
+    def test_single_cell_partition(self, rng):
+        fleet = generate_fleet(10, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(fleet, 1, rng)
+        assert list(cells) == [0]
+        assert len(cells[0]) == 10
+
+    def test_invalid_cells(self, rng):
+        fleet = generate_fleet(10, MODERATE_EDRX_MIXTURE, rng)
+        with pytest.raises(ConfigurationError):
+            partition_fleet(fleet, 0, rng)
+
+
+class TestCoordination:
+    def test_dasc_one_transmission_per_cell(self, rng):
+        fleet = generate_fleet(40, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(fleet, 3, rng)
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        context = PlanningContext(payload_bytes=image.size_bytes)
+        report = CoordinationEntity(DaScMechanism()).rollout(
+            cells, image, context, rng
+        )
+        assert report.total_devices == 40
+        assert report.total_transmissions == report.n_cells
+        assert report.total_energy_mj > 0
+        assert report.campaign_duration_s > 0
+
+    def test_drsc_transmissions_sum_over_cells(self, rng):
+        fleet = generate_fleet(30, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(fleet, 2, rng)
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        context = PlanningContext(payload_bytes=image.size_bytes)
+        report = CoordinationEntity(DrScMechanism()).rollout(
+            cells, image, context, rng
+        )
+        assert report.total_transmissions == sum(
+            c.plan.n_transmissions for c in report.campaigns
+        )
+        assert report.total_transmissions >= report.n_cells
+
+    def test_payload_mismatch_rejected(self, rng):
+        fleet = generate_fleet(10, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(fleet, 2, rng)
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        context = PlanningContext(payload_bytes=999)
+        with pytest.raises(ConfigurationError):
+            CoordinationEntity(DaScMechanism()).rollout(
+                cells, image, context, rng
+            )
+
+    def test_empty_cells_rejected(self, rng):
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        context = PlanningContext(payload_bytes=image.size_bytes)
+        with pytest.raises(ConfigurationError):
+            CoordinationEntity(DaScMechanism()).rollout({}, image, context, rng)
+
+
+class TestReliability:
+    def test_lossless_needs_one_round(self, rng):
+        image = FirmwareImage(name="fw", version="1", size_bytes=10_000)
+        config = ReliabilityConfig(segment_loss_probability=0.0)
+        outcome = simulate_repair_rounds(image, 50, config, rng)
+        assert outcome.rounds == 1
+        assert outcome.devices_complete == 50
+        assert outcome.residual_missing == 0
+        assert outcome.airtime_overhead_fraction == pytest.approx(0.0)
+
+    def test_lossy_needs_repairs_but_converges(self, rng):
+        image = FirmwareImage(name="fw", version="1", size_bytes=50_000)
+        config = ReliabilityConfig(segment_loss_probability=0.05)
+        outcome = simulate_repair_rounds(image, 100, config, rng)
+        assert outcome.rounds > 1
+        assert outcome.devices_complete == 100
+        assert outcome.residual_missing == 0
+
+    def test_repair_overhead_independent_of_fleet_size(self, rng):
+        """The headline property: multicast repair overhead is a small
+        multiple of the payload bounded by the round count — NOT a
+        resend per lossy device (which would be ~200x here)."""
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        config = ReliabilityConfig(segment_loss_probability=0.02)
+        outcome = simulate_repair_rounds(image, 200, config, rng)
+        assert outcome.airtime_overhead_fraction < outcome.rounds
+        assert outcome.airtime_overhead_fraction < 3.0
+
+    def test_overhead_grows_sublinearly_with_devices(self):
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        config = ReliabilityConfig(segment_loss_probability=0.02)
+        small = simulate_repair_rounds(
+            image, 10, config, np.random.default_rng(1)
+        )
+        large = simulate_repair_rounds(
+            image, 400, config, np.random.default_rng(1)
+        )
+        # 40x the devices costs far less than 40x the airtime.
+        assert (
+            large.segments_sent < 4 * small.segments_sent
+        ), "union-NACK repair must not scale with fleet size"
+
+    def test_rounds_track_analytic_estimate(self, rng):
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        loss = 0.05
+        config = ReliabilityConfig(segment_loss_probability=loss)
+        n_segments = image.segment_count(config.segment_bytes)
+        predicted = expected_rounds(100, n_segments, loss)
+        outcomes = [
+            simulate_repair_rounds(image, 100, config, np.random.default_rng(s))
+            for s in range(3)
+        ]
+        mean_rounds = np.mean([o.rounds for o in outcomes])
+        assert 0.5 <= mean_rounds / predicted <= 2.0
+
+    def test_max_rounds_cap(self, rng):
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        config = ReliabilityConfig(
+            segment_loss_probability=0.6, max_rounds=2
+        )
+        outcome = simulate_repair_rounds(image, 50, config, rng)
+        assert outcome.rounds == 2
+        assert outcome.residual_missing > 0
+
+    def test_validation(self, rng):
+        with pytest.raises(ConfigurationError):
+            ReliabilityConfig(segment_loss_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            ReliabilityConfig(max_rounds=0)
+        image = FirmwareImage(name="fw", version="1", size_bytes=100)
+        with pytest.raises(ConfigurationError):
+            simulate_repair_rounds(image, 0, ReliabilityConfig(), rng)
+        with pytest.raises(ConfigurationError):
+            expected_rounds(10, 10, 1.5)

@@ -1,0 +1,171 @@
+"""Unit tests for identities, devices, batteries and fleets."""
+
+import numpy as np
+import pytest
+
+from repro.devices.battery import Battery
+from repro.devices.device import NbIotDevice
+from repro.devices.fleet import Fleet
+from repro.devices.identity import DeviceIdentity
+from repro.devices.profiles import DeviceCategory
+from repro.drx.config import DrxConfig
+from repro.drx.cycles import DrxCycle
+from repro.errors import ConfigurationError, DrxError, FleetError
+from repro.phy.coverage import CoverageClass
+
+
+class TestIdentity:
+    def test_ue_id_is_imsi_mod_4096(self):
+        identity = DeviceIdentity(imsi=234_150_000_004_097)
+        assert identity.ue_id == 234_150_000_004_097 % 4096
+
+    def test_rejects_bad_imsi(self):
+        with pytest.raises(ConfigurationError):
+            DeviceIdentity(imsi=0)
+        with pytest.raises(ConfigurationError):
+            DeviceIdentity(imsi=10**15)
+
+    def test_str_is_padded(self):
+        assert str(DeviceIdentity(imsi=42)) == "imsi-000000000000042"
+
+
+class TestDrxConfig:
+    def test_negotiated_starts_unadapted(self):
+        config = DrxConfig.negotiated(7, DrxCycle.from_seconds(40.96))
+        assert not config.is_adapted
+        assert config.active_cycle == config.preferred_cycle
+
+    def test_adaptation_and_restore(self):
+        config = DrxConfig.negotiated(7, DrxCycle.from_seconds(40.96))
+        adapted = config.adapted_to(DrxCycle.from_seconds(20.48))
+        assert adapted.is_adapted
+        restored = adapted.restored()
+        assert not restored.is_adapted
+        assert restored == config
+
+    def test_cannot_adapt_longer(self):
+        config = DrxConfig.negotiated(7, DrxCycle.from_seconds(20.48))
+        with pytest.raises(DrxError):
+            config.adapted_to(DrxCycle.from_seconds(40.96))
+
+    def test_pattern_follows_active_cycle(self):
+        config = DrxConfig.negotiated(7, DrxCycle.from_seconds(40.96))
+        adapted = config.adapted_to(DrxCycle.from_seconds(20.48))
+        assert int(adapted.pattern.cycle) == 2048
+        assert int(adapted.preferred_pattern.cycle) == 4096
+
+
+class TestDevice:
+    def test_build_wires_identity_into_drx(self):
+        device = NbIotDevice.build(imsi=12345, cycle=DrxCycle.from_seconds(20.48))
+        assert device.drx.ue_id == 12345 % 4096
+        assert device.schedule.is_po(device.pattern.phase)
+
+    def test_link_profile(self):
+        device = NbIotDevice.build(
+            imsi=1, cycle=DrxCycle(2048), coverage=CoverageClass.EXTREME
+        )
+        assert device.link.downlink_bps == 2000.0
+
+
+class TestBattery:
+    def test_capacity_energy(self):
+        battery = Battery(capacity_mah=1000, voltage_v=3.6)
+        assert battery.capacity_mj == pytest.approx(1000 * 3.6 * 3600)
+
+    def test_ten_year_life_at_low_current(self):
+        """A 5 Ah cell lasts >10 years below ~57 uA average draw."""
+        battery = Battery(capacity_mah=5000)
+        assert battery.lifetime_years(0.05) > 10.0
+        assert battery.lifetime_years(0.10) < 10.0
+
+    def test_fraction_consumed(self):
+        battery = Battery(capacity_mah=1000, voltage_v=3.6)
+        assert battery.fraction_consumed(battery.capacity_mj / 2) == pytest.approx(0.5)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            Battery(capacity_mah=0)
+        with pytest.raises(ConfigurationError):
+            Battery().lifetime_years(0)
+        with pytest.raises(ConfigurationError):
+            Battery().fraction_consumed(-1)
+
+
+class TestFleet:
+    def _devices(self, n=4):
+        return [
+            NbIotDevice.build(
+                imsi=1000 + i,
+                cycle=DrxCycle.from_seconds(20.48 * 2 ** (i % 3)),
+            )
+            for i in range(n)
+        ]
+
+    def test_len_iter_getitem(self):
+        fleet = Fleet(self._devices())
+        assert len(fleet) == 4
+        assert fleet[0].identity.imsi == 1000
+        assert [d.identity.imsi for d in fleet] == [1000, 1001, 1002, 1003]
+
+    def test_rejects_empty(self):
+        with pytest.raises(FleetError):
+            Fleet([])
+
+    def test_rejects_duplicate_imsi(self):
+        device = NbIotDevice.build(imsi=5, cycle=DrxCycle(2048))
+        with pytest.raises(FleetError):
+            Fleet([device, device])
+
+    def test_columnar_views_match_devices(self):
+        fleet = Fleet(self._devices())
+        np.testing.assert_array_equal(
+            fleet.phases, [d.pattern.phase for d in fleet]
+        )
+        np.testing.assert_array_equal(
+            fleet.periods, [int(d.cycle) for d in fleet]
+        )
+
+    def test_views_are_copies(self):
+        fleet = Fleet(self._devices())
+        phases = fleet.phases
+        phases[0] = -99
+        assert fleet.phases[0] != -99
+
+    def test_max_min_cycle(self):
+        fleet = Fleet(self._devices())
+        assert int(fleet.max_cycle) == max(int(d.cycle) for d in fleet)
+        assert int(fleet.min_cycle) == min(int(d.cycle) for d in fleet)
+
+    def test_group_rate_is_minimum(self):
+        devices = [
+            NbIotDevice.build(imsi=1, cycle=DrxCycle(2048)),
+            NbIotDevice.build(
+                imsi=2, cycle=DrxCycle(2048), coverage=CoverageClass.ROBUST
+            ),
+        ]
+        fleet = Fleet(devices)
+        assert fleet.group_rate_bps([0]) == 25000.0
+        assert fleet.group_rate_bps([0, 1]) == 10000.0
+
+    def test_group_rate_rejects_empty(self):
+        fleet = Fleet(self._devices())
+        with pytest.raises(FleetError):
+            fleet.group_rate_bps([])
+
+    def test_subset(self):
+        fleet = Fleet(self._devices())
+        sub = fleet.subset([1, 3])
+        assert len(sub) == 2
+        assert sub[0].identity.imsi == 1001
+
+    def test_bad_index_rejected(self):
+        fleet = Fleet(self._devices())
+        with pytest.raises(FleetError):
+            fleet.subset([99])
+
+
+class TestCategories:
+    def test_all_categories_have_descriptions(self):
+        for category in DeviceCategory:
+            assert category.description

@@ -1,0 +1,119 @@
+"""Unit tests for power states, profiles and ledgers."""
+
+import pytest
+
+from repro.energy.ledger import UptimeLedger, UptimeTotals
+from repro.energy.profiles import DEFAULT_PROFILE, EnergyProfile
+from repro.energy.states import STATE_GROUPS, PowerState, StateGroup
+from repro.errors import ConfigurationError
+
+
+class TestStates:
+    def test_every_state_has_a_group(self):
+        assert set(STATE_GROUPS) == set(PowerState)
+
+    def test_paper_grouping(self):
+        """Light sleep = PO monitoring + paging RX; connected = RA,
+        signalling, waiting, data (paper Sec. IV-A)."""
+        light = {s for s, g in STATE_GROUPS.items() if g is StateGroup.LIGHT_SLEEP}
+        assert light == {PowerState.PO_MONITOR, PowerState.PAGING_RX}
+        connected = {s for s, g in STATE_GROUPS.items() if g is StateGroup.CONNECTED}
+        assert PowerState.RANDOM_ACCESS in connected
+        assert PowerState.CONNECTED_WAIT in connected
+        assert PowerState.CONNECTED_RX in connected
+
+
+class TestProfile:
+    def test_connected_order_of_magnitude_above_light_sleep(self):
+        """The paper's refs [12,13]: connected-mode energy is an order
+        of magnitude above light sleep."""
+        light = DEFAULT_PROFILE.current_ma[PowerState.PO_MONITOR]
+        connected = DEFAULT_PROFILE.current_ma[PowerState.CONNECTED_RX]
+        assert connected >= 3 * light
+        assert DEFAULT_PROFILE.current_ma[PowerState.CONNECTED_TX] >= 10 * light
+
+    def test_energy_linear_in_time(self):
+        e1 = DEFAULT_PROFILE.energy_mj(PowerState.CONNECTED_RX, 1.0)
+        e2 = DEFAULT_PROFILE.energy_mj(PowerState.CONNECTED_RX, 2.0)
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_power_mw(self):
+        assert DEFAULT_PROFILE.power_mw(PowerState.CONNECTED_RX) == pytest.approx(
+            46.0 * 3.6
+        )
+
+    def test_missing_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnergyProfile(name="bad", voltage_v=3.6, current_ma={})
+
+    def test_negative_current_rejected(self):
+        currents = dict(DEFAULT_PROFILE.current_ma)
+        currents[PowerState.DEEP_SLEEP] = -1.0
+        with pytest.raises(ConfigurationError):
+            EnergyProfile(name="bad", voltage_v=3.6, current_ma=currents)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DEFAULT_PROFILE.energy_mj(PowerState.DEEP_SLEEP, -1.0)
+
+
+class TestLedger:
+    def test_accumulates(self):
+        ledger = UptimeLedger()
+        ledger.add(PowerState.PO_MONITOR, 0.5)
+        ledger.add(PowerState.PO_MONITOR, 0.25)
+        assert ledger.seconds_in(PowerState.PO_MONITOR) == pytest.approx(0.75)
+
+    def test_totals_split(self):
+        ledger = UptimeLedger()
+        ledger.add(PowerState.PO_MONITOR, 1.0)
+        ledger.add(PowerState.PAGING_RX, 0.5)
+        ledger.add(PowerState.CONNECTED_RX, 3.0)
+        ledger.add(PowerState.DEEP_SLEEP, 100.0)
+        totals = ledger.totals
+        assert totals.light_sleep_s == pytest.approx(1.5)
+        assert totals.connected_s == pytest.approx(3.0)
+        assert totals.sleep_s == pytest.approx(100.0)
+        assert totals.uptime_s == pytest.approx(4.5)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            UptimeLedger().add(PowerState.PO_MONITOR, -0.1)
+
+    def test_merge(self):
+        a = UptimeLedger({PowerState.PO_MONITOR: 1.0})
+        b = UptimeLedger({PowerState.PO_MONITOR: 2.0, PowerState.CONNECTED_RX: 1.0})
+        merged = a.merged_with(b)
+        assert merged.seconds_in(PowerState.PO_MONITOR) == pytest.approx(3.0)
+        assert merged.seconds_in(PowerState.CONNECTED_RX) == pytest.approx(1.0)
+        # Originals untouched.
+        assert a.seconds_in(PowerState.PO_MONITOR) == pytest.approx(1.0)
+
+    def test_energy_uses_profile(self):
+        ledger = UptimeLedger({PowerState.CONNECTED_RX: 2.0})
+        expected = DEFAULT_PROFILE.energy_mj(PowerState.CONNECTED_RX, 2.0)
+        assert ledger.energy_mj() == pytest.approx(expected)
+
+    def test_as_dict_is_copy(self):
+        ledger = UptimeLedger()
+        d = ledger.as_dict()
+        d[PowerState.PO_MONITOR] = 99.0
+        assert ledger.seconds_in(PowerState.PO_MONITOR) == 0.0
+
+
+class TestRelativeIncrease:
+    def test_basic_ratio(self):
+        a = UptimeTotals(light_sleep_s=1.1, connected_s=2.0)
+        base = UptimeTotals(light_sleep_s=1.0, connected_s=1.0)
+        increase = a.relative_increase_over(base)
+        assert increase.light_sleep == pytest.approx(0.1)
+        assert increase.connected == pytest.approx(1.0)
+
+    def test_zero_baseline_zero_delta(self):
+        a = UptimeTotals(light_sleep_s=0.0, connected_s=0.0)
+        assert a.relative_increase_over(a).light_sleep == 0.0
+
+    def test_zero_baseline_positive_delta_is_inf(self):
+        a = UptimeTotals(light_sleep_s=1.0, connected_s=0.0)
+        base = UptimeTotals(light_sleep_s=0.0, connected_s=0.0)
+        assert a.relative_increase_over(base).light_sleep == float("inf")

@@ -1,0 +1,73 @@
+"""Unit tests for experiment configuration and reporting."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import Table, percent, render_markdown, render_table
+
+
+class TestExperimentConfig:
+    def test_paper_defaults(self):
+        config = ExperimentConfig()
+        assert config.inactivity_timer_s == pytest.approx(20.48)
+        assert config.device_counts[0] == 100
+        assert config.device_counts[-1] == 1000
+        assert config.n_runs == 100
+        assert list(config.payload_sizes) == [100_000, 1_000_000, 10_000_000]
+
+    def test_cell_uses_ti(self):
+        config = replace(ExperimentConfig(), inactivity_timer_s=10.24)
+        assert config.cell.inactivity_timer_frames == 1024
+
+    def test_planning_context(self):
+        context = ExperimentConfig().planning_context(100_000)
+        assert context.payload_bytes == 100_000
+        assert context.inactivity_timer_frames == 2048
+
+    def test_scaled_runs(self):
+        config = ExperimentConfig().scaled_runs(0.05)
+        assert config.n_runs == 5
+        assert ExperimentConfig().scaled_runs(0.0001).n_runs == 1
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            replace(ExperimentConfig(), inactivity_timer_s=0)
+        with pytest.raises(ConfigurationError):
+            replace(ExperimentConfig(), n_runs=0)
+        with pytest.raises(ConfigurationError):
+            replace(ExperimentConfig(), device_counts=())
+
+
+class TestReporting:
+    def _table(self) -> Table:
+        return Table(
+            title="T",
+            headers=("a", "b"),
+            rows=(("1", "2"), ("333", "4")),
+            notes=("hello",),
+        )
+
+    def test_render_contains_everything(self):
+        text = render_table(self._table())
+        assert "T" in text and "333" in text and "note: hello" in text
+
+    def test_alignment(self):
+        lines = render_table(self._table()).splitlines()
+        header_line = next(line for line in lines if line.startswith("a"))
+        assert header_line.index("b") == 5  # 'a' padded to width 3 + 2 spaces
+
+    def test_markdown(self):
+        md = render_markdown(self._table())
+        assert md.startswith("### T")
+        assert "| 333 | 4 |" in md
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Table(title="T", headers=("a",), rows=(("1", "2"),))
+
+    def test_percent(self):
+        assert percent(0.0534) == "+5.3%"
+        assert percent(-0.002, 2) == "-0.20%"

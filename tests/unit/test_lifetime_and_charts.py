@@ -1,0 +1,104 @@
+"""Unit tests for battery-lifetime projection and ASCII charts."""
+
+import pytest
+
+from repro.devices.battery import Battery
+from repro.drx.cycles import DrxCycle
+from repro.energy.lifetime import DutyCycle, LifetimeProjection, project_lifetime
+from repro.errors import ConfigurationError
+from repro.experiments.charts import bar_chart, fig6_chart, fig7_chart, line_chart
+
+
+class TestDutyCycle:
+    def test_average_current_dominated_by_sleep(self):
+        duty = DutyCycle(drx_cycle=DrxCycle.from_seconds(10485.76))
+        # A device that wakes every ~3 hours draws microamps on average.
+        assert duty.average_current_ma() < 0.05
+
+    def test_shorter_cycle_draws_more(self):
+        sleepy = DutyCycle(drx_cycle=DrxCycle.from_seconds(10485.76))
+        busy = DutyCycle(drx_cycle=DrxCycle.from_seconds(20.48))
+        assert busy.average_current_ma() > sleepy.average_current_ma()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DutyCycle(drx_cycle=DrxCycle(2048), report_period_s=0)
+        with pytest.raises(ConfigurationError):
+            DutyCycle(drx_cycle=DrxCycle(2048), report_airtime_s=-1)
+
+
+class TestProjection:
+    def _duty(self):
+        return DutyCycle(
+            drx_cycle=DrxCycle.from_seconds(10485.76),
+            report_period_s=86_400.0,
+        )
+
+    def test_meter_exceeds_ten_years_without_campaigns(self):
+        projection = project_lifetime(
+            Battery(capacity_mah=5000), self._duty(),
+            campaign_energy_mj=0.0, campaigns_per_year=0.0,
+        )
+        assert projection.baseline_years > 10.0
+        assert projection.with_campaigns_years == pytest.approx(
+            projection.baseline_years
+        )
+
+    def test_campaigns_cost_lifetime(self):
+        no_campaigns = project_lifetime(
+            Battery(), self._duty(), campaign_energy_mj=0.0,
+            campaigns_per_year=0.0,
+        )
+        quarterly = project_lifetime(
+            Battery(), self._duty(), campaign_energy_mj=60_000.0,
+            campaigns_per_year=4.0,
+        )
+        assert quarterly.with_campaigns_years < no_campaigns.with_campaigns_years
+        assert quarterly.lifetime_cost_days > 0
+
+    def test_ten_year_flag(self):
+        heavy = project_lifetime(
+            Battery(capacity_mah=1000), self._duty(),
+            campaign_energy_mj=500_000.0, campaigns_per_year=52.0,
+        )
+        assert not heavy.still_meets_ten_years
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            project_lifetime(Battery(), self._duty(), -1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            project_lifetime(Battery(), self._duty(), 1.0, -1.0)
+
+
+class TestCharts:
+    def test_bar_chart_proportions(self):
+        chart = bar_chart("T", {"a": 10.0, "b": 5.0}, width=20)
+        lines = chart.splitlines()
+        bar_a = lines[2].count("#")
+        bar_b = lines[3].count("#")
+        assert bar_a == 20 and bar_b == 10
+
+    def test_bar_chart_handles_negatives(self):
+        chart = bar_chart("T", {"a": -0.5, "b": 2.0})
+        assert "-0.5" in chart
+
+    def test_bar_chart_validation(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart("T", {})
+        with pytest.raises(ConfigurationError):
+            bar_chart("T", {"a": 1.0}, width=5)
+
+    def test_line_chart_contains_extremes(self):
+        chart = line_chart("T", [(0, 0), (10, 100)], height=5, width=20)
+        assert "100" in chart and "0" in chart
+        assert chart.count("*") >= 2
+
+    def test_line_chart_validation(self):
+        with pytest.raises(ConfigurationError):
+            line_chart("T", [(0, 0)])
+
+    def test_fig_helpers(self):
+        f7 = fig7_chart({100: 49.0, 500: 180.0, 1000: 271.0})
+        assert "Fig. 7" in f7 and "*" in f7
+        f6 = fig6_chart({"dr-sc": -0.001, "da-sc": 0.3, "dr-si": 0.001}, "a")
+        assert "DA-SC" in f6

@@ -1,0 +1,71 @@
+"""Unit tests for the multicast service layer (payload, SC-PTM, facade)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.multicast.payload import DEFAULT_SEGMENT_BYTES, FirmwareImage
+from repro.multicast.scptm import (
+    ScPtmConfig,
+    scptm_monitoring_energy_mj,
+    scptm_monitoring_overhead_s,
+)
+
+
+class TestFirmwareImage:
+    def test_segment_count(self):
+        image = FirmwareImage(name="fw", version="1.0", size_bytes=1000)
+        assert image.segment_count(segment_bytes=512) == 2
+        assert image.segment_count(segment_bytes=1000) == 1
+        assert image.segment_count(segment_bytes=999) == 2
+
+    def test_segments_cover_exactly(self):
+        image = FirmwareImage(name="fw", version="1.0", size_bytes=1200)
+        segments = list(image.segments(segment_bytes=512))
+        assert segments == [(0, 512), (512, 512), (1024, 176)]
+        assert sum(length for _off, length in segments) == 1200
+
+    def test_checksum_deterministic(self):
+        a = FirmwareImage(name="fw", version="1.0", size_bytes=100_000)
+        b = FirmwareImage(name="fw", version="1.0", size_bytes=100_000)
+        assert a.checksum == b.checksum
+
+    def test_checksum_sensitive_to_version(self):
+        a = FirmwareImage(name="fw", version="1.0", size_bytes=1000)
+        b = FirmwareImage(name="fw", version="1.1", size_bytes=1000)
+        assert a.checksum != b.checksum
+
+    def test_large_image_checksum_is_cheap(self):
+        image = FirmwareImage(name="fw", version="9", size_bytes=10_000_000)
+        assert 0 <= image.checksum <= 0xFFFFFFFF
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FirmwareImage(name="", version="1", size_bytes=10)
+        with pytest.raises(ConfigurationError):
+            FirmwareImage(name="fw", version="1", size_bytes=0)
+        image = FirmwareImage(name="fw", version="1", size_bytes=10)
+        with pytest.raises(ConfigurationError):
+            image.segment_count(0)
+
+
+class TestScPtm:
+    def test_overhead_scales_linearly(self):
+        day = scptm_monitoring_overhead_s(86400.0)
+        week = scptm_monitoring_overhead_s(7 * 86400.0)
+        assert week == pytest.approx(7 * day)
+
+    def test_default_magnitude(self):
+        """~42 s of extra radio-on time per device per day at a 40.96 s
+        MCCH period and 20 ms per check... sanity-check the arithmetic."""
+        day = scptm_monitoring_overhead_s(86400.0)
+        expected = (86400.0 / 40.96) * 0.020
+        assert day == pytest.approx(expected)
+
+    def test_energy_positive(self):
+        assert scptm_monitoring_energy_mj(86400.0) > 0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            ScPtmConfig(mcch_repetition_period_s=0)
+        with pytest.raises(ConfigurationError):
+            scptm_monitoring_overhead_s(-1.0)

@@ -1,0 +1,81 @@
+"""Unit tests for the transport-block-level NPDSCH model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.coverage import PROFILES, CoverageClass
+from repro.phy.npdsch import COVERAGE_NPDSCH, NpdschConfig, sustained_rate_for
+
+
+class TestNpdschConfig:
+    def test_block_timing(self):
+        config = NpdschConfig(
+            tbs_bits=680, subframes_per_block=3, repetitions=1,
+            scheduling_gap_ms=13.0,
+        )
+        assert config.block_airtime_ms == pytest.approx(3.0)
+        assert config.block_cycle_ms == pytest.approx(16.0)
+        # 680 bits / 16 ms = 42.5 kbps instantaneous goodput.
+        assert config.sustained_rate_bps == pytest.approx(42_500.0)
+
+    def test_repetitions_divide_rate(self):
+        base = NpdschConfig(repetitions=1)
+        repeated = NpdschConfig(repetitions=8)
+        assert repeated.sustained_rate_bps < base.sustained_rate_bps / 2
+
+    def test_blocks_for(self):
+        config = NpdschConfig(tbs_bits=680)
+        assert config.blocks_for(85) == 1  # 680 bits exactly
+        assert config.blocks_for(86) == 2
+        assert config.blocks_for(100_000) == -(-100_000 * 8 // 680)
+
+    def test_airtime_excludes_final_gap(self):
+        config = NpdschConfig(tbs_bits=680, subframes_per_block=3,
+                              repetitions=1, scheduling_gap_ms=13.0)
+        one = config.airtime_seconds(85)
+        assert one == pytest.approx(0.003)
+        two = config.airtime_seconds(170)
+        assert two == pytest.approx(0.003 + 0.013 + 0.003)
+
+    def test_occupancy_less_than_airtime(self):
+        config = NpdschConfig()
+        payload = 10_000
+        assert config.occupancy_seconds(payload) < config.airtime_seconds(payload)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NpdschConfig(tbs_bits=4000)
+        with pytest.raises(ConfigurationError):
+            NpdschConfig(repetitions=3)
+        with pytest.raises(ConfigurationError):
+            NpdschConfig(repetitions=4096)
+        with pytest.raises(ConfigurationError):
+            NpdschConfig(subframes_per_block=0)
+        with pytest.raises(ConfigurationError):
+            NpdschConfig().blocks_for(0)
+
+
+class TestCoverageConfigs:
+    def test_rates_degrade_with_coverage(self):
+        assert (
+            sustained_rate_for(CoverageClass.NORMAL)
+            > sustained_rate_for(CoverageClass.ROBUST)
+            > sustained_rate_for(CoverageClass.EXTREME)
+        )
+
+    def test_tb_model_brackets_coarse_constants(self):
+        """The coarse per-class rates used by the executor must sit
+        within a factor ~2 of the detailed transport-block model, so the
+        two PHY layers tell one consistent story."""
+        for coverage in CoverageClass:
+            detailed = sustained_rate_for(coverage)
+            coarse = PROFILES[coverage].downlink_bps
+            assert 0.4 <= coarse / detailed <= 2.5, (
+                f"{coverage}: coarse {coarse} vs detailed {detailed}"
+            )
+
+    def test_extreme_uses_smaller_tbs(self):
+        assert (
+            COVERAGE_NPDSCH[CoverageClass.EXTREME].tbs_bits
+            < COVERAGE_NPDSCH[CoverageClass.NORMAL].tbs_bits
+        )

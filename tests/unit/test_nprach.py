@@ -1,0 +1,106 @@
+"""Unit tests for the slot-level NPRACH contention simulator."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rrc.nprach import (
+    NprachConfig,
+    simulate_rach,
+    stampede_arrivals,
+)
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        config = NprachConfig()
+        assert config.n_preambles == 48
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            NprachConfig(period_ms=0)
+        with pytest.raises(ConfigurationError):
+            NprachConfig(n_preambles=0)
+        with pytest.raises(ConfigurationError):
+            NprachConfig(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            NprachConfig(backoff_max_ms=-1)
+
+
+class TestSimulation:
+    def test_single_device_always_succeeds_first_try(self):
+        rng = np.random.default_rng(0)
+        result = simulate_rach([0.0], NprachConfig(), rng)
+        assert result.success_rate == 1.0
+        assert result.attempts[0] == 1
+        assert result.failed == ()
+
+    def test_two_devices_many_preambles_rarely_collide(self):
+        rng = np.random.default_rng(1)
+        collisions = 0
+        for _ in range(50):
+            result = simulate_rach([0.0, 0.0], NprachConfig(), rng)
+            collisions += int(result.attempts.max() > 1)
+        # P(same preamble) = 1/48 per round.
+        assert collisions < 10
+
+    def test_overload_causes_retries(self):
+        rng = np.random.default_rng(2)
+        config = NprachConfig(n_preambles=8)
+        result = simulate_rach([0.0] * 64, config, rng)
+        assert result.mean_attempts > 1.0
+
+    def test_spread_arrivals_beat_stampede(self):
+        config = NprachConfig(n_preambles=12)
+        n = 120
+        stamped, spread = [], []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            burst = simulate_rach(
+                stampede_arrivals(n, 20_000.0, False, rng), config, rng
+            )
+            rng = np.random.default_rng(seed)
+            gentle = simulate_rach(
+                stampede_arrivals(n, 20_000.0, True, rng), config, rng
+            )
+            stamped.append(burst.mean_attempts)
+            spread.append(gentle.mean_attempts)
+        assert np.mean(spread) < np.mean(stamped)
+
+    def test_backoff_desynchronises_colliders(self):
+        """Two devices, one preamble: the first opportunity collides, but
+        distinct random backoffs then separate them — both succeed on the
+        second attempt. This is *why* backoff exists."""
+        rng = np.random.default_rng(3)
+        config = NprachConfig(n_preambles=1, max_attempts=5)
+        result = simulate_rach([0.0, 0.0], config, rng)
+        assert result.success_rate == 1.0
+        assert list(result.attempts) == [2, 2]
+
+    def test_give_up_after_max_attempts(self):
+        """With zero backoff the colliders stay in lockstep and exhaust
+        their attempts."""
+        rng = np.random.default_rng(3)
+        config = NprachConfig(n_preambles=1, max_attempts=2, backoff_max_ms=0.0)
+        result = simulate_rach([0.0, 0.0], config, rng)
+        assert result.success_rate == 0.0
+        assert set(result.failed) == {0, 1}
+        with pytest.raises(ConfigurationError):
+            result.mean_access_delay_ms
+
+    def test_success_time_accounts_for_wait_to_opportunity(self):
+        rng = np.random.default_rng(4)
+        config = NprachConfig(period_ms=160.0)
+        result = simulate_rach([10.0], config, rng)
+        # Arrived at 10 ms, first opportunity at 160 ms.
+        expected = 160.0 + config.preamble_ms + config.response_window_ms - 10.0
+        assert result.success_times_ms[0] == pytest.approx(expected)
+
+    def test_invalid_arrivals(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ConfigurationError):
+            simulate_rach([], NprachConfig(), rng)
+        with pytest.raises(ConfigurationError):
+            simulate_rach([-1.0], NprachConfig(), rng)
+        with pytest.raises(ConfigurationError):
+            stampede_arrivals(0, 100.0, True, rng)

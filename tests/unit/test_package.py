@@ -1,0 +1,70 @@
+"""Package-level tests: public API surface and metadata."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_matches_pyproject(self):
+        import pathlib
+        import re
+
+        pyproject = (
+            pathlib.Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+        ).read_text()
+        declared = re.search(r'^version = "([^"]+)"', pyproject, re.M).group(1)
+        assert repro.__version__ == declared
+
+    def test_all_names_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"__all__ exports missing {name}"
+
+    def test_mechanisms_exposed_at_top_level(self):
+        assert repro.DrScMechanism().name == "dr-sc"
+        assert repro.DaScMechanism().name == "da-sc"
+        assert repro.DrSiMechanism().name == "dr-si"
+        assert repro.UnicastBaseline().name == "unicast"
+
+    def test_registry_covers_all_top_level_mechanisms(self):
+        assert set(repro.MECHANISMS) == {"dr-sc", "da-sc", "dr-si", "unicast"}
+
+    def test_subpackages_importable(self):
+        for module in (
+            "repro.timebase",
+            "repro.drx",
+            "repro.devices",
+            "repro.energy",
+            "repro.phy",
+            "repro.rrc",
+            "repro.enb",
+            "repro.traffic",
+            "repro.multicast",
+            "repro.setcover",
+            "repro.core",
+            "repro.sim",
+            "repro.experiments",
+            "repro.analysis",
+        ):
+            importlib.import_module(module)
+
+    def test_every_error_derives_from_repro_error(self):
+        from repro import errors
+
+        for name in errors.__all__:
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_mechanism_trade_off_matrix(self):
+        """The paper's Sec. III trade-off table, as code."""
+        rows = {
+            "dr-sc": (True, True),
+            "da-sc": (True, False),
+            "dr-si": (False, True),
+        }
+        for name, (compliant, respects) in rows.items():
+            mechanism = repro.mechanism_by_name(name)
+            assert mechanism.standards_compliant == compliant
+            assert mechanism.respects_preferred_drx == respects

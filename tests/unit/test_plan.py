@@ -1,0 +1,227 @@
+"""Unit tests for plan structures and validation."""
+
+import pytest
+
+from repro.core.plan import (
+    DeviceDirective,
+    MulticastPlan,
+    Transmission,
+    WakeMethod,
+)
+from repro.devices.device import NbIotDevice
+from repro.devices.fleet import Fleet
+from repro.drx.cycles import DrxCycle
+from repro.errors import CoverageError, PlanError
+from repro.rrc.timers import T322Timer
+
+
+@pytest.fixture
+def pair_fleet() -> Fleet:
+    return Fleet(
+        [
+            NbIotDevice.build(imsi=101, cycle=DrxCycle.from_seconds(20.48)),
+            NbIotDevice.build(imsi=202, cycle=DrxCycle.from_seconds(40.96)),
+        ]
+    )
+
+
+def _plan_for(fleet: Fleet, directives, transmissions) -> MulticastPlan:
+    return MulticastPlan(
+        mechanism="test",
+        standards_compliant=True,
+        respects_preferred_drx=True,
+        announce_frame=0,
+        inactivity_timer_frames=2048,
+        payload_bytes=100_000,
+        transmissions=transmissions,
+        directives=directives,
+    )
+
+
+def _window_page(fleet: Fleet, device_index: int, tx_frame: int) -> int:
+    schedule = fleet[device_index].schedule
+    page = schedule.last_at_or_before(tx_frame)
+    assert page is not None and page >= tx_frame - 2048
+    return page
+
+
+class TestTransmission:
+    def test_valid(self):
+        t = Transmission(
+            index=0, frame=100, device_indices=(0, 1), rate_bps=25000,
+            duration_frames=3200,
+        )
+        assert t.group_size == 2
+        assert t.end_frame == 3300
+
+    def test_rejects_empty_group(self):
+        with pytest.raises(PlanError):
+            Transmission(index=0, frame=0, device_indices=(), rate_bps=1,
+                         duration_frames=1)
+
+    def test_rejects_duplicate_devices(self):
+        with pytest.raises(PlanError):
+            Transmission(index=0, frame=0, device_indices=(1, 1), rate_bps=1,
+                         duration_frames=1)
+
+
+class TestDirective:
+    def test_adaptation_requires_fields(self):
+        with pytest.raises(PlanError):
+            DeviceDirective(
+                device_index=0, transmission_index=0,
+                method=WakeMethod.DRX_ADAPTATION, page_frame=10, connect_frame=10,
+            )
+
+    def test_non_adaptation_rejects_adaptation_fields(self):
+        with pytest.raises(PlanError):
+            DeviceDirective(
+                device_index=0, transmission_index=0,
+                method=WakeMethod.PAGED_IN_WINDOW, page_frame=10, connect_frame=10,
+                adapted_cycle=DrxCycle(2048),
+            )
+
+    def test_extended_requires_t322(self):
+        with pytest.raises(PlanError):
+            DeviceDirective(
+                device_index=0, transmission_index=0,
+                method=WakeMethod.EXTENDED_PAGE_TIMER, page_frame=10,
+                connect_frame=100,
+            )
+
+    def test_t322_only_for_extended(self):
+        with pytest.raises(PlanError):
+            DeviceDirective(
+                device_index=0, transmission_index=0,
+                method=WakeMethod.PAGED_IN_WINDOW, page_frame=10, connect_frame=10,
+                t322=T322Timer(armed_at_frame=10, expires_at_frame=100),
+            )
+
+    def test_connect_before_page_rejected(self):
+        with pytest.raises(PlanError):
+            DeviceDirective(
+                device_index=0, transmission_index=0,
+                method=WakeMethod.PAGED_IN_WINDOW, page_frame=10, connect_frame=5,
+            )
+
+
+class TestPlanValidation:
+    def test_valid_plan_passes(self, pair_fleet):
+        tx_frame = 5000
+        directives = tuple(
+            DeviceDirective(
+                device_index=i, transmission_index=0,
+                method=WakeMethod.PAGED_IN_WINDOW,
+                page_frame=_window_page(pair_fleet, i, tx_frame),
+                connect_frame=_window_page(pair_fleet, i, tx_frame),
+            )
+            for i in range(2)
+        )
+        plan = _plan_for(
+            pair_fleet,
+            directives,
+            (
+                Transmission(index=0, frame=tx_frame, device_indices=(0, 1),
+                             rate_bps=25000, duration_frames=3200),
+            ),
+        )
+        plan.validate(pair_fleet)  # must not raise
+        assert plan.n_transmissions == 1
+
+    def test_uncovered_device_detected(self, pair_fleet):
+        tx_frame = 5000
+        page = _window_page(pair_fleet, 0, tx_frame)
+        plan = _plan_for(
+            pair_fleet,
+            (
+                DeviceDirective(
+                    device_index=0, transmission_index=0,
+                    method=WakeMethod.PAGED_IN_WINDOW,
+                    page_frame=page, connect_frame=page,
+                ),
+            ),
+            (
+                Transmission(index=0, frame=tx_frame, device_indices=(0,),
+                             rate_bps=25000, duration_frames=3200),
+            ),
+        )
+        with pytest.raises(CoverageError):
+            plan.validate(pair_fleet)
+
+    def test_page_not_on_po_grid_detected(self, pair_fleet):
+        tx_frame = 5000
+        page = _window_page(pair_fleet, 0, tx_frame)
+        bad = page + 1  # definitely not a PO
+        directives = (
+            DeviceDirective(
+                device_index=0, transmission_index=0,
+                method=WakeMethod.PAGED_IN_WINDOW, page_frame=bad,
+                connect_frame=bad,
+            ),
+            DeviceDirective(
+                device_index=1, transmission_index=0,
+                method=WakeMethod.PAGED_IN_WINDOW,
+                page_frame=_window_page(pair_fleet, 1, tx_frame),
+                connect_frame=_window_page(pair_fleet, 1, tx_frame),
+            ),
+        )
+        plan = _plan_for(
+            pair_fleet,
+            directives,
+            (
+                Transmission(index=0, frame=tx_frame, device_indices=(0, 1),
+                             rate_bps=25000, duration_frames=3200),
+            ),
+        )
+        with pytest.raises(PlanError, match="not a PO"):
+            plan.validate(pair_fleet)
+
+    def test_page_outside_window_detected(self, pair_fleet):
+        tx_frame = 50000
+        early_page = pair_fleet[0].schedule.first_at_or_after(0)
+        directives = (
+            DeviceDirective(
+                device_index=0, transmission_index=0,
+                method=WakeMethod.PAGED_IN_WINDOW,
+                page_frame=early_page, connect_frame=early_page,
+            ),
+            DeviceDirective(
+                device_index=1, transmission_index=0,
+                method=WakeMethod.PAGED_IN_WINDOW,
+                page_frame=_window_page(pair_fleet, 1, tx_frame),
+                connect_frame=_window_page(pair_fleet, 1, tx_frame),
+            ),
+        )
+        plan = _plan_for(
+            pair_fleet,
+            directives,
+            (
+                Transmission(index=0, frame=tx_frame, device_indices=(0, 1),
+                             rate_bps=25000, duration_frames=3200),
+            ),
+        )
+        with pytest.raises(PlanError, match="outside window"):
+            plan.validate(pair_fleet)
+
+    def test_directive_for(self, pair_fleet):
+        tx_frame = 5000
+        directives = tuple(
+            DeviceDirective(
+                device_index=i, transmission_index=0,
+                method=WakeMethod.PAGED_IN_WINDOW,
+                page_frame=_window_page(pair_fleet, i, tx_frame),
+                connect_frame=_window_page(pair_fleet, i, tx_frame),
+            )
+            for i in range(2)
+        )
+        plan = _plan_for(
+            pair_fleet,
+            directives,
+            (
+                Transmission(index=0, frame=tx_frame, device_indices=(0, 1),
+                             rate_bps=25000, duration_frames=3200),
+            ),
+        )
+        assert plan.directive_for(1).device_index == 1
+        with pytest.raises(PlanError):
+            plan.directive_for(7)

@@ -1,0 +1,91 @@
+"""Unit tests for the paging-time-window (PTW) refinement."""
+
+import numpy as np
+import pytest
+
+from repro.drx.cycles import DrxCycle
+from repro.drx.paging import NB, paging_frame_offset
+from repro.drx.ptw import PtwConfig, ptw_monitor_uptime_s, ptw_occasions
+from repro.errors import ConfigurationError, DrxError
+
+
+class TestPtwConfig:
+    def test_occasions_per_window(self):
+        config = PtwConfig(ptw_hyperframes=1, intra_ptw_cycle=DrxCycle(256))
+        assert config.occasions_per_window == 4
+        config = PtwConfig(ptw_hyperframes=2, intra_ptw_cycle=DrxCycle(1024))
+        assert config.occasions_per_window == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PtwConfig(ptw_hyperframes=0)
+        with pytest.raises(ConfigurationError):
+            PtwConfig(ptw_hyperframes=17)
+        with pytest.raises(DrxError):
+            PtwConfig(intra_ptw_cycle=DrxCycle(2048))
+
+
+class TestPtwOccasions:
+    def test_first_occasion_matches_single_po_model(self):
+        """The single-PO model is the PTW model's first occasion."""
+        ue_id = 321
+        cycle = DrxCycle.from_seconds(163.84)
+        config = PtwConfig(ptw_hyperframes=1, intra_ptw_cycle=DrxCycle(1024))
+        occasions = ptw_occasions(ue_id, cycle, config)
+        anchor = paging_frame_offset(ue_id, cycle, NB.ONE_T)
+        assert occasions[0] >= anchor
+        assert occasions[0] - anchor < int(config.intra_ptw_cycle)
+
+    def test_occasion_count(self):
+        ue_id = 77
+        cycle = DrxCycle.from_seconds(81.92)
+        config = PtwConfig(ptw_hyperframes=2, intra_ptw_cycle=DrxCycle(512))
+        occasions = ptw_occasions(ue_id, cycle, config, n_cycles=3)
+        assert len(occasions) == 3 * config.occasions_per_window
+
+    def test_occasions_inside_windows(self):
+        ue_id = 1234
+        cycle = DrxCycle.from_seconds(327.68)
+        config = PtwConfig(ptw_hyperframes=1, intra_ptw_cycle=DrxCycle(256))
+        anchor = paging_frame_offset(ue_id, cycle, NB.ONE_T)
+        for k, batch_start in enumerate(range(0, 8, config.occasions_per_window)):
+            window_lo = anchor + k * int(cycle)
+            window_hi = window_lo + config.ptw_frames
+            batch = ptw_occasions(ue_id, cycle, config, n_cycles=2)
+            for po in batch[batch_start: batch_start + config.occasions_per_window]:
+                if batch_start // config.occasions_per_window == k:
+                    assert window_lo <= po < window_hi
+
+    def test_rejects_non_edrx(self):
+        config = PtwConfig()
+        with pytest.raises(DrxError):
+            ptw_occasions(1, DrxCycle(256), config)
+
+    def test_rejects_ptw_longer_than_cycle(self):
+        config = PtwConfig(ptw_hyperframes=4)
+        with pytest.raises(ConfigurationError):
+            ptw_occasions(1, DrxCycle.from_seconds(20.48), config)
+
+
+class TestPtwUptime:
+    def test_scales_with_occasions(self):
+        cycle = DrxCycle.from_seconds(163.84)
+        one = ptw_monitor_uptime_s(
+            cycle, PtwConfig(intra_ptw_cycle=DrxCycle(1024)), 86400.0
+        )
+        four = ptw_monitor_uptime_s(
+            cycle, PtwConfig(intra_ptw_cycle=DrxCycle(256)), 86400.0
+        )
+        assert four == pytest.approx(4 * one)
+
+    def test_single_occasion_matches_paper_model(self):
+        """One occasion per window == the paper's single-PO accounting."""
+        cycle = DrxCycle.from_seconds(163.84)
+        config = PtwConfig(ptw_hyperframes=1, intra_ptw_cycle=DrxCycle(1024))
+        uptime = ptw_monitor_uptime_s(cycle, config, 86400.0)
+        paper_model = 86400.0 / cycle.seconds * 0.010
+        assert uptime == pytest.approx(paper_model)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ptw_monitor_uptime_s(DrxCycle.from_seconds(20.48), PtwConfig(), -1.0)

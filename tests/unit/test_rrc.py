@@ -1,0 +1,154 @@
+"""Unit tests for RRC messages, random access and procedures."""
+
+import numpy as np
+import pytest
+
+from repro.drx.cycles import DrxCycle
+from repro.errors import ConfigurationError, SimulationError
+from repro.phy.coverage import CoverageClass
+from repro.rrc.messages import (
+    EstablishmentCause,
+    MulticastNotification,
+    PagingMessage,
+    PagingRecord,
+    RrcConnectionReconfiguration,
+    RrcConnectionRequest,
+)
+from repro.rrc.procedures import ProcedureTimings
+from repro.rrc.random_access import RandomAccessModel
+from repro.rrc.timers import T322Timer
+
+
+class TestMessages:
+    def test_multicast_reception_is_nonstandard(self):
+        """The paper's new establishment cause is the only non-standard one."""
+        assert not EstablishmentCause.MULTICAST_RECEPTION.is_standard
+        others = [c for c in EstablishmentCause if c.is_standard]
+        assert len(others) == len(EstablishmentCause) - 1
+
+    def test_plain_page_is_compliant(self):
+        msg = PagingMessage(frame=10, records=(PagingRecord(1), PagingRecord(2)))
+        assert msg.is_standards_compliant
+        assert msg.paged_ue_ids == {1, 2}
+
+    def test_extension_breaks_compliance(self):
+        msg = PagingMessage(
+            frame=10,
+            mltc_transmission=(
+                MulticastNotification(ue_id=5, frames_until_transmission=100),
+            ),
+        )
+        assert not msg.is_standards_compliant
+        assert msg.notified_ue_ids == {5}
+
+    def test_identity_cannot_appear_in_both_lists(self):
+        """Sec. III-C: the device id is only in the extension, so devices
+        can distinguish multicast notifications from downlink pages."""
+        with pytest.raises(ConfigurationError):
+            PagingMessage(
+                frame=1,
+                records=(PagingRecord(5),),
+                mltc_transmission=(
+                    MulticastNotification(ue_id=5, frames_until_transmission=10),
+                ),
+            )
+
+    def test_duplicate_records_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PagingMessage(frame=1, records=(PagingRecord(5), PagingRecord(5)))
+
+    def test_notification_requires_future_transmission(self):
+        with pytest.raises(ConfigurationError):
+            MulticastNotification(ue_id=1, frames_until_transmission=0)
+
+    def test_request_default_cause(self):
+        request = RrcConnectionRequest(ue_id=1)
+        assert request.cause is EstablishmentCause.MT_ACCESS
+
+    def test_reconfiguration_carries_cycle(self):
+        reconf = RrcConnectionReconfiguration(
+            ue_id=1, drx_cycle=DrxCycle.from_seconds(20.48)
+        )
+        assert reconf.drx_cycle.seconds == pytest.approx(20.48)
+        assert not reconf.is_restore
+
+
+class TestT322:
+    def test_duration(self):
+        timer = T322Timer(armed_at_frame=10, expires_at_frame=110)
+        assert timer.duration_frames == 100
+
+    def test_must_expire_after_armed(self):
+        with pytest.raises(ConfigurationError):
+            T322Timer(armed_at_frame=10, expires_at_frame=10)
+
+
+class TestRandomAccess:
+    def test_deterministic_without_collisions(self):
+        model = RandomAccessModel()
+        outcome = model.perform(CoverageClass.NORMAL)
+        assert outcome.attempts == 1
+        assert outcome.duration_s == pytest.approx(0.35)
+
+    def test_coverage_scales_duration(self):
+        model = RandomAccessModel()
+        assert (
+            model.perform(CoverageClass.EXTREME).duration_s
+            > model.perform(CoverageClass.NORMAL).duration_s
+        )
+
+    def test_collisions_need_rng(self):
+        model = RandomAccessModel(collision_probability=0.5)
+        with pytest.raises(ConfigurationError):
+            model.perform(CoverageClass.NORMAL)
+
+    def test_collisions_retry(self):
+        model = RandomAccessModel(collision_probability=0.5)
+        rng = np.random.default_rng(3)
+        outcomes = [model.perform(CoverageClass.NORMAL, rng) for _ in range(200)]
+        attempts = [o.attempts for o in outcomes]
+        assert max(attempts) > 1
+        # Retried procedures take longer than the collision-free base.
+        retried = [o for o in outcomes if o.attempts > 1]
+        assert all(o.duration_s > 0.35 for o in retried)
+
+    def test_gives_up_after_max_attempts(self):
+        model = RandomAccessModel(collision_probability=0.99, max_attempts=3)
+        rng = np.random.default_rng(0)
+        with pytest.raises(SimulationError):
+            for _ in range(200):
+                model.perform(CoverageClass.NORMAL, rng)
+
+    def test_expected_duration(self):
+        model = RandomAccessModel()
+        assert model.expected_duration_s(CoverageClass.NORMAL) == pytest.approx(0.35)
+        lossy = RandomAccessModel(collision_probability=0.5, backoff_s=0.1)
+        assert lossy.expected_duration_s(CoverageClass.NORMAL) == pytest.approx(
+            2 * 0.35 + 1 * 0.1
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            RandomAccessModel(collision_probability=1.0)
+        with pytest.raises(ConfigurationError):
+            RandomAccessModel(backoff_s=-1)
+        with pytest.raises(ConfigurationError):
+            RandomAccessModel(max_attempts=0)
+
+
+class TestProcedures:
+    def test_connection_setup_composition(self):
+        timings = ProcedureTimings()
+        total = timings.connection_setup_s(CoverageClass.NORMAL)
+        assert total == pytest.approx(0.35 + 0.12)
+
+    def test_adaptation_episode_composition(self):
+        """Page -> RA -> setup -> reconfiguration -> immediate release."""
+        timings = ProcedureTimings()
+        episode = timings.adaptation_episode_s(CoverageClass.NORMAL)
+        assert episode == pytest.approx(0.35 + 0.12 + 0.08 + 0.04)
+
+    def test_restore_is_single_reconfiguration(self):
+        timings = ProcedureTimings()
+        assert timings.restore_s() == pytest.approx(0.08)
+        assert timings.release_s() == pytest.approx(0.04)

@@ -1,0 +1,144 @@
+"""Unit tests for frame arithmetic and unit conversions."""
+
+import pytest
+
+from repro.errors import ConfigurationError, TimebaseError
+from repro.timebase import (
+    FRAMES_PER_HYPERFRAME,
+    MS_PER_FRAME,
+    FrameWindow,
+    format_bytes,
+    format_duration,
+    frames_to_ms,
+    frames_to_seconds,
+    hyperframe_of,
+    ms_to_frames,
+    seconds_to_frames,
+    sfn_of,
+    subframe_count,
+    validate_frame,
+)
+
+
+class TestConversions:
+    def test_frame_is_ten_ms(self):
+        assert MS_PER_FRAME == 10
+        assert frames_to_ms(1) == 10
+        assert frames_to_seconds(100) == 1.0
+
+    def test_hyperframe_is_1024_frames(self):
+        assert FRAMES_PER_HYPERFRAME == 1024
+        assert frames_to_seconds(FRAMES_PER_HYPERFRAME) == pytest.approx(10.24)
+
+    def test_ms_to_frames_rounds_up(self):
+        assert ms_to_frames(0) == 0
+        assert ms_to_frames(1) == 1
+        assert ms_to_frames(10) == 1
+        assert ms_to_frames(11) == 2
+
+    def test_ms_to_frames_strict_accepts_exact(self):
+        assert ms_to_frames(20, strict=True) == 2
+
+    def test_ms_to_frames_strict_rejects_fractional(self):
+        with pytest.raises(TimebaseError):
+            ms_to_frames(15, strict=True)
+
+    def test_seconds_to_frames_paper_values(self):
+        assert seconds_to_frames(20.48, strict=True) == 2048
+        assert seconds_to_frames(10485.76, strict=True) == 1_048_576
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(TimebaseError):
+            ms_to_frames(-1)
+
+    def test_roundtrip(self):
+        for frames in (0, 1, 7, 1024, 99999):
+            assert ms_to_frames(frames_to_ms(frames), strict=True) == frames
+
+    def test_sfn_wraps_at_1024(self):
+        assert sfn_of(0) == 0
+        assert sfn_of(1023) == 1023
+        assert sfn_of(1024) == 0
+        assert sfn_of(1025) == 1
+
+    def test_hyperframe_of(self):
+        assert hyperframe_of(1023) == 0
+        assert hyperframe_of(1024) == 1
+
+    def test_subframe_count(self):
+        assert subframe_count(3) == 30
+
+    def test_validate_frame_rejects_negative(self):
+        with pytest.raises(TimebaseError):
+            validate_frame(-1)
+
+    def test_validate_frame_rejects_non_integer(self):
+        with pytest.raises(TimebaseError):
+            validate_frame(1.5)
+
+    def test_validate_frame_accepts_numpy_ints(self):
+        import numpy as np
+
+        assert validate_frame(np.int64(42)) == 42
+        assert isinstance(validate_frame(np.int64(42)), int)
+
+
+class TestFrameWindow:
+    def test_length_and_contains(self):
+        window = FrameWindow(10, 20)
+        assert window.length == 10
+        assert len(window) == 10
+        assert window.contains(10)
+        assert window.contains(19)
+        assert not window.contains(20)
+        assert not window.contains(9)
+
+    def test_last_frame(self):
+        assert FrameWindow(10, 20).last_frame == 19
+
+    def test_empty_window_has_no_last_frame(self):
+        with pytest.raises(TimebaseError):
+            _ = FrameWindow(5, 5).last_frame
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(TimebaseError):
+            FrameWindow(20, 10)
+
+    def test_overlaps(self):
+        assert FrameWindow(0, 10).overlaps(FrameWindow(9, 20))
+        assert not FrameWindow(0, 10).overlaps(FrameWindow(10, 20))
+
+    def test_intersection(self):
+        inter = FrameWindow(0, 10).intersection(FrameWindow(5, 15))
+        assert (inter.start, inter.end) == (5, 10)
+
+    def test_disjoint_intersection_is_empty(self):
+        inter = FrameWindow(0, 5).intersection(FrameWindow(10, 15))
+        assert inter.length == 0
+
+    def test_shifted(self):
+        shifted = FrameWindow(5, 8).shifted(100)
+        assert (shifted.start, shifted.end) == (105, 108)
+
+    def test_iteration(self):
+        assert list(FrameWindow(3, 6)) == [3, 4, 5]
+
+
+class TestFormatting:
+    def test_format_bytes_paper_sizes(self):
+        assert format_bytes(100_000) == "100KB"
+        assert format_bytes(1_000_000) == "1MB"
+        assert format_bytes(10_000_000) == "10MB"
+
+    def test_format_bytes_odd_value(self):
+        assert format_bytes(1234) == "1234B"
+
+    def test_format_bytes_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            format_bytes(-1)
+
+    def test_format_duration_ranges(self):
+        assert format_duration(0.08) == "80ms"
+        assert format_duration(12.5) == "12.5s"
+        assert format_duration(200) == "3m20s"
+        assert format_duration(3724) == "1h02m"
