@@ -1,0 +1,111 @@
+"""A8 benchmark: serial vs sharded-process Monte-Carlo wall-clock.
+
+Runs the same Fig. 6-style campaign (fleet sampling + planning +
+execution per run) through both execution backends, asserts the metric
+arrays are bit-identical, and records the wall-clock speedup. On a
+machine with >= 4 cores the process backend must be at least 2x faster
+with 4 workers; on smaller machines, or when the serial campaign is too
+short to amortise pool startup (< 1 s), the speedup is recorded but not
+asserted (a 1-core container cannot parallelise CPU-bound work, and a
+sub-second workload mostly measures scheduler noise).
+
+Tune with ``REPRO_BENCH_SPEEDUP_RUNS`` / ``REPRO_BENCH_SPEEDUP_DEVICES``
+/ ``REPRO_BENCH_SPEEDUP_WORKERS``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from functools import partial
+
+import numpy as np
+from conftest import _env_int, emit
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import Table, render_table
+from repro.experiments.uptime import _fig6_run
+from repro.sim.montecarlo import run_monte_carlo
+
+SPEEDUP_WORKERS = _env_int("REPRO_BENCH_SPEEDUP_WORKERS", 4)
+
+#: Serial wall-clock below which the speedup assertion is skipped: a
+#: sub-second campaign is dominated by pool startup and scheduler noise,
+#: so a ratio measured on it says nothing about the backend.
+MIN_ASSERTED_SERIAL_S = 1.0
+
+
+def _campaign(backend: str, workers=None):
+    config = ExperimentConfig(
+        n_runs=_env_int("REPRO_BENCH_SPEEDUP_RUNS", 16),
+        n_devices=_env_int("REPRO_BENCH_SPEEDUP_DEVICES", 150),
+    )
+    fn = partial(
+        _fig6_run, config=config, payload_bytes=config.default_payload
+    )
+    return run_monte_carlo(
+        fn,
+        n_runs=config.n_runs,
+        seed=config.seed,
+        backend=backend,
+        workers=workers,
+    )
+
+
+def test_a8_parallel_speedup(benchmark, capsys):
+    start = time.perf_counter()
+    serial = _campaign("serial")
+    serial_s = time.perf_counter() - start
+
+    parallel = benchmark.pedantic(
+        _campaign,
+        args=("process",),
+        kwargs={"workers": SPEEDUP_WORKERS},
+        iterations=1,
+        rounds=1,
+    )
+    parallel_s = benchmark.stats.stats.mean
+
+    # The backends must agree bit for bit before the timing means anything.
+    assert serial.keys() == parallel.keys()
+    for name in serial:
+        np.testing.assert_array_equal(
+            serial[name].values, parallel[name].values
+        )
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    benchmark.extra_info["serial_s"] = serial_s
+    benchmark.extra_info["parallel_s"] = parallel_s
+    benchmark.extra_info["speedup"] = speedup
+    benchmark.extra_info["workers"] = SPEEDUP_WORKERS
+    benchmark.extra_info["cores"] = cores
+    emit(
+        capsys,
+        render_table(
+            Table(
+                title=(
+                    f"A8 — Monte-Carlo wall-clock: serial vs "
+                    f"{SPEEDUP_WORKERS}-worker process pool ({cores} cores)"
+                ),
+                headers=("backend", "wall-clock", "speedup"),
+                rows=(
+                    ("serial", f"{serial_s:.2f}s", "1.00x"),
+                    (
+                        f"process ({SPEEDUP_WORKERS} workers)",
+                        f"{parallel_s:.2f}s",
+                        f"{speedup:.2f}x",
+                    ),
+                ),
+                notes=(
+                    "Per-shard child RNGs are spawned from the root seed, "
+                    "so both rows aggregate bit-identical metric arrays.",
+                ),
+            )
+        ),
+    )
+    if cores >= 4 and serial_s >= MIN_ASSERTED_SERIAL_S:
+        assert speedup >= 2.0, (
+            f"expected >=2x speedup with {SPEEDUP_WORKERS} workers on "
+            f"{cores} cores (serial took {serial_s:.2f}s), got {speedup:.2f}x"
+        )

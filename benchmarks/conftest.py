@@ -4,7 +4,10 @@ Benchmarks regenerate the paper's figures. By default they run scaled
 down so ``pytest benchmarks/ --benchmark-only`` finishes in minutes;
 set ``REPRO_BENCH_FULL=1`` to use the paper's full parameters (100
 Monte-Carlo runs, fleets up to 1000 devices), or tune individually with
-``REPRO_BENCH_RUNS`` / ``REPRO_BENCH_DEVICES``.
+``REPRO_BENCH_RUNS`` / ``REPRO_BENCH_DEVICES``. The Monte-Carlo
+execution backend is selectable too: ``REPRO_BENCH_BACKEND=process``
+and ``REPRO_BENCH_WORKERS=N`` shard every figure's run loop across a
+process pool (identical numbers, lower wall-clock).
 """
 
 from __future__ import annotations
@@ -22,18 +25,31 @@ def _env_int(name: str, default: int) -> int:
     return int(value) if value else default
 
 
+def _execution_overrides(config: ExperimentConfig) -> ExperimentConfig:
+    """Apply the backend/workers env knobs (numbers are unaffected)."""
+    backend = os.environ.get("REPRO_BENCH_BACKEND")
+    if backend:
+        config = replace(config, backend=backend)
+    workers = os.environ.get("REPRO_BENCH_WORKERS")
+    if workers:
+        config = replace(config, workers=int(workers))
+    return config
+
+
 @pytest.fixture(scope="session")
 def bench_config() -> ExperimentConfig:
     """The experiment configuration benchmarks run with."""
     if os.environ.get("REPRO_BENCH_FULL"):
-        return ExperimentConfig()
+        return _execution_overrides(ExperimentConfig())
     runs = _env_int("REPRO_BENCH_RUNS", 5)
     devices = _env_int("REPRO_BENCH_DEVICES", 150)
-    return replace(
-        ExperimentConfig(),
-        n_runs=runs,
-        n_devices=devices,
-        device_counts=(100, 300, 500, 1000),
+    return _execution_overrides(
+        replace(
+            ExperimentConfig(),
+            n_runs=runs,
+            n_devices=devices,
+            device_counts=(100, 300, 500, 1000),
+        )
     )
 
 

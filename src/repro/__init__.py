@@ -56,7 +56,9 @@ from repro.sim import (
     CampaignResult,
     EventDrivenCampaign,
     MonteCarlo,
+    ResultCache,
     Simulator,
+    run_monte_carlo,
 )
 from repro.traffic import (
     LONG_EDRX_MIXTURE,
@@ -114,6 +116,8 @@ __all__ = [
     "EventDrivenCampaign",
     "CampaignResult",
     "MonteCarlo",
+    "run_monte_carlo",
+    "ResultCache",
     # traffic
     "TrafficMixture",
     "PAPER_DEFAULT_MIXTURE",

@@ -4,6 +4,7 @@ Examples::
 
     python -m repro figures --figure 7 --runs 20
     python -m repro figures --figure all --runs 5 --devices 200
+    python -m repro figures --figure 6a --backend process --workers 4 --cache
     python -m repro demo --mechanism da-sc --devices 100 --payload 100000
 """
 
@@ -18,8 +19,12 @@ from repro.core import mechanism_by_name
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import KNOWN_TARGETS, render_all, run_with_charts
 from repro.multicast import FirmwareImage, OnDemandMulticastService
+from repro.sim.montecarlo import BACKENDS
 from repro.sim.rng import generator_for
 from repro.traffic import PAPER_DEFAULT_MIXTURE, generate_fleet
+
+#: Where ``figures --cache`` stores results (gitignored).
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -47,6 +52,29 @@ def _build_parser() -> argparse.ArgumentParser:
         "--devices", type=int, default=None, help="fleet size for Fig. 6"
     )
     figures.add_argument("--seed", type=int, default=None, help="root seed")
+    figures.add_argument(
+        "--backend",
+        choices=list(BACKENDS),
+        default=None,
+        help="Monte-Carlo execution backend (default serial)",
+    )
+    figures.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for --backend process (default: all cores)",
+    )
+    figures.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache Monte-Carlo results under DIR (reruns become free)",
+    )
+    figures.add_argument(
+        "--cache",
+        action="store_true",
+        help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}",
+    )
 
     demo = sub.add_parser("demo", help="run one campaign and print the report")
     demo.add_argument(
@@ -71,6 +99,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             config = replace(config, n_devices=args.devices)
         if args.seed is not None:
             config = replace(config, seed=args.seed)
+        if args.backend is not None:
+            config = replace(config, backend=args.backend)
+        if args.workers is not None:
+            config = replace(config, workers=args.workers)
+        cache_dir = args.cache_dir or (DEFAULT_CACHE_DIR if args.cache else None)
+        if cache_dir is not None:
+            config = replace(config, cache_dir=cache_dir)
         targets = None
         if args.figures and "all" not in args.figures:
             targets = args.figures

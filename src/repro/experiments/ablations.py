@@ -8,6 +8,7 @@ cost of the SC-PTM alternative.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -23,6 +24,7 @@ from repro.setcover.exact import exact_min_window_cover
 from repro.setcover.greedy import greedy_window_cover
 from repro.sim.executor import CampaignExecutor
 from repro.sim.montecarlo import MonteCarlo, RunStatistics
+from repro.sim.parallel import ResultCache, fingerprint
 from repro.timebase import seconds_to_frames
 from repro.traffic.generator import generate_fleet
 from repro.traffic.mixtures import (
@@ -70,12 +72,23 @@ def dasc_strategy_once(
     return metrics
 
 
+def _a1_run(
+    rng: np.random.Generator, _run_index: int, config: ExperimentConfig
+) -> Dict[str, float]:
+    """Picklable A1 run function (process-backend compatible)."""
+    return dasc_strategy_once(rng, config)
+
+
 def run_dasc_strategy_ablation(
     config: ExperimentConfig = ExperimentConfig(),
 ) -> Tuple[Table, Dict[str, RunStatistics]]:
     """A1: paper's max-cycle selection vs the naive TI-sized fallback."""
-    harness = MonteCarlo(n_runs=config.n_runs, seed=config.seed)
-    stats = harness.run(lambda rng, _run: dasc_strategy_once(rng, config))
+    harness = config.monte_carlo()
+    stats = harness.run(
+        partial(_a1_run, config=config),
+        cache_tag="a1",
+        config_fingerprint=config.fingerprint(),
+    )
     rows = []
     for strategy in AdaptationStrategy:
         key = strategy.value
@@ -113,6 +126,20 @@ def run_dasc_strategy_ablation(
 # ----------------------------------------------------------------------
 # A2: inactivity timer sensitivity
 # ----------------------------------------------------------------------
+def _drsc_plan_run(
+    rng: np.random.Generator, _run_index: int, config: ExperimentConfig
+) -> Dict[str, float]:
+    """Picklable A2/A4 run function: plan DR-SC, count transmissions."""
+    fleet = generate_fleet(config.n_devices, config.mixture, rng)
+    plan = DrScMechanism().plan(
+        fleet, config.planning_context(config.default_payload), rng
+    )
+    return {
+        "transmissions": float(plan.n_transmissions),
+        "fraction": plan.n_transmissions / len(fleet),
+    }
+
+
 def run_ti_sensitivity(
     config: ExperimentConfig = ExperimentConfig(),
     ti_values_s: Sequence[float] = (10.24, 20.48, 30.72),
@@ -124,19 +151,12 @@ def run_ti_sensitivity(
     rows = []
     for ti in ti_values_s:
         cfg = replace(config, inactivity_timer_s=ti)
-        harness = MonteCarlo(n_runs=cfg.n_runs, seed=cfg.seed)
-
-        def once(rng: np.random.Generator, _run: int) -> Dict[str, float]:
-            fleet = generate_fleet(cfg.n_devices, cfg.mixture, rng)
-            plan = DrScMechanism().plan(
-                fleet, cfg.planning_context(cfg.default_payload), rng
-            )
-            return {
-                "transmissions": float(plan.n_transmissions),
-                "fraction": plan.n_transmissions / len(fleet),
-            }
-
-        stats = harness.run(once)
+        harness = cfg.monte_carlo()
+        stats = harness.run(
+            partial(_drsc_plan_run, config=cfg),
+            cache_tag="a2",
+            config_fingerprint=cfg.fingerprint(),
+        )
         per_ti[ti] = stats
         rows.append(
             (
@@ -180,16 +200,12 @@ def run_mixture_sensitivity(
     rows = []
     for mixture in mixtures:
         cfg = replace(config, mixture=mixture)
-        harness = MonteCarlo(n_runs=cfg.n_runs, seed=cfg.seed)
-
-        def once(rng: np.random.Generator, _run: int) -> Dict[str, float]:
-            fleet = generate_fleet(cfg.n_devices, cfg.mixture, rng)
-            plan = DrScMechanism().plan(
-                fleet, cfg.planning_context(cfg.default_payload), rng
-            )
-            return {"fraction": plan.n_transmissions / len(fleet)}
-
-        stats = harness.run(once)
+        harness = cfg.monte_carlo()
+        stats = harness.run(
+            partial(_drsc_plan_run, config=cfg),
+            cache_tag="a4",
+            config_fingerprint=cfg.fingerprint(),
+        )
         per_mix[mixture.name] = stats
         rows.append((mixture.name, f"{stats['fraction'].mean * 100:.0f}%"))
     table = Table(
@@ -211,33 +227,51 @@ def run_mixture_sensitivity(
 # ----------------------------------------------------------------------
 # A3: greedy vs exact set cover
 # ----------------------------------------------------------------------
+def _a3_run(
+    rng: np.random.Generator,
+    _run_index: int,
+    n_devices: int,
+    mixture: TrafficMixture,
+    ti: int,
+) -> Dict[str, float]:
+    """Picklable A3 run function: greedy vs exact cover on one fleet."""
+    fleet = generate_fleet(n_devices, mixture, rng)
+    horizon = 2 * int(fleet.periods.max())
+    greedy = greedy_window_cover(
+        fleet.phases, fleet.periods, ti, 0, horizon, rng
+    )
+    optimal, _frames = exact_min_window_cover(
+        fleet.phases, fleet.periods, ti, 0, horizon
+    )
+    return {
+        "greedy": float(greedy.n_transmissions),
+        "optimal": float(optimal),
+        "ratio": greedy.n_transmissions / optimal,
+    }
+
+
 def run_setcover_quality(
     n_devices: int = 12,
     n_runs: int = 30,
     seed: int = 7,
     mixture: TrafficMixture = MODERATE_EDRX_MIXTURE,
     inactivity_timer_s: float = 20.48,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Tuple[Table, Dict[str, RunStatistics]]:
     """A3: greedy cover size vs the exact optimum on small instances."""
     ti = seconds_to_frames(inactivity_timer_s)
-    harness = MonteCarlo(n_runs=n_runs, seed=seed)
-
-    def once(rng: np.random.Generator, _run: int) -> Dict[str, float]:
-        fleet = generate_fleet(n_devices, mixture, rng)
-        horizon = 2 * int(fleet.periods.max())
-        greedy = greedy_window_cover(
-            fleet.phases, fleet.periods, ti, 0, horizon, rng
-        )
-        optimal, _frames = exact_min_window_cover(
-            fleet.phases, fleet.periods, ti, 0, horizon
-        )
-        return {
-            "greedy": float(greedy.n_transmissions),
-            "optimal": float(optimal),
-            "ratio": greedy.n_transmissions / optimal,
-        }
-
-    stats = harness.run(once)
+    harness = MonteCarlo(
+        n_runs=n_runs, seed=seed, backend=backend, workers=workers, cache=cache
+    )
+    stats = harness.run(
+        partial(_a3_run, n_devices=n_devices, mixture=mixture, ti=ti),
+        cache_tag="a3",
+        config_fingerprint=fingerprint(
+            {"n_devices": n_devices, "mixture": mixture, "ti": ti}
+        ),
+    )
     table = Table(
         title=f"A3 — greedy vs exact set cover (n={n_devices}, {n_runs} runs)",
         headers=("solver", "mean transmissions"),

@@ -3,12 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.core.base import PlanningContext
 from repro.enb.cell import CellConfig
 from repro.errors import ConfigurationError
 from repro.rrc.procedures import ProcedureTimings
+from repro.sim.montecarlo import BACKENDS, MonteCarlo
+from repro.sim.parallel import ResultCache, fingerprint
 from repro.timebase import KILOBYTE, MEGABYTE, seconds_to_frames
 from repro.traffic.mixtures import PAPER_DEFAULT_MIXTURE, TrafficMixture
 
@@ -21,6 +23,11 @@ class ExperimentConfig:
     100-1000 devices, 100 Monte-Carlo runs, a single cell, and an
     inactivity timer inside the 10-30 s commercial range (20.48 s, which
     aligns with the eDRX ladder).
+
+    ``backend``/``workers`` select how each figure's Monte-Carlo loop
+    executes (see :mod:`repro.sim.parallel`); ``cache_dir`` enables the
+    on-disk result cache so re-running a figure with unchanged
+    parameters is free. None of the three affects the numbers produced.
     """
 
     mixture: TrafficMixture = PAPER_DEFAULT_MIXTURE
@@ -34,6 +41,9 @@ class ExperimentConfig:
     n_runs: int = 100
     seed: int = 2018
     timings: ProcedureTimings = ProcedureTimings()
+    backend: str = "serial"
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.inactivity_timer_s <= 0:
@@ -48,6 +58,14 @@ class ExperimentConfig:
             raise ConfigurationError("device_counts must not be empty")
         if self.n_runs < 1:
             raise ConfigurationError(f"n_runs must be >= 1, got {self.n_runs}")
+        if self.backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {self.backend!r}"
+            )
+        if self.workers is not None and self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
 
     @property
     def cell(self) -> CellConfig:
@@ -70,3 +88,33 @@ class ExperimentConfig:
 
         runs = max(1, int(round(self.n_runs * fraction)))
         return replace(self, n_runs=runs)
+
+    def fingerprint(self) -> str:
+        """Stable hash of every *scenario* parameter.
+
+        Execution knobs (backend, workers, cache_dir) are excluded: they
+        change how the runs execute, never what they compute, so they
+        must not invalidate cached results.
+        """
+        from dataclasses import asdict
+
+        scenario = asdict(self)
+        for execution_only in ("backend", "workers", "cache_dir"):
+            scenario.pop(execution_only, None)
+        return fingerprint(scenario)
+
+    def result_cache(self) -> Optional[ResultCache]:
+        """The configured on-disk cache, or None when caching is off."""
+        return ResultCache(self.cache_dir) if self.cache_dir else None
+
+    def monte_carlo(
+        self, seed: Optional[int] = None, n_runs: Optional[int] = None
+    ) -> MonteCarlo:
+        """A harness wired to this config's backend, workers and cache."""
+        return MonteCarlo(
+            n_runs=self.n_runs if n_runs is None else n_runs,
+            seed=self.seed if seed is None else seed,
+            backend=self.backend,
+            workers=self.workers,
+            cache=self.result_cache(),
+        )

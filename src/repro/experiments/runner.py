@@ -74,7 +74,11 @@ def run_with_charts(
     if "a2" in selected:
         tables["a2"], _ = run_ti_sensitivity(config)
     if "a3" in selected:
-        tables["a3"], _ = run_setcover_quality()
+        tables["a3"], _ = run_setcover_quality(
+            backend=config.backend,
+            workers=config.workers,
+            cache=config.result_cache(),
+        )
     if "a4" in selected:
         tables["a4"], _ = run_mixture_sensitivity(config)
     if "a5" in selected:

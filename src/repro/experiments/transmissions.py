@@ -8,6 +8,7 @@ its ratio to plain unicast (which needs one transmission per device).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -15,7 +16,7 @@ import numpy as np
 from repro.core import DrScMechanism
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import Table
-from repro.sim.montecarlo import MonteCarlo, RunStatistics
+from repro.sim.montecarlo import RunStatistics
 from repro.traffic.generator import generate_fleet
 
 
@@ -38,6 +39,16 @@ def transmissions_once(
     }
 
 
+def _fig7_run(
+    rng: np.random.Generator,
+    _run_index: int,
+    config: ExperimentConfig,
+    n_devices: int,
+) -> Dict[str, float]:
+    """Picklable Fig. 7 run function (process-backend compatible)."""
+    return transmissions_once(rng, config, n_devices)
+
+
 def run_fig7(
     config: ExperimentConfig = ExperimentConfig(),
 ) -> Tuple[Table, Dict[int, Dict[str, RunStatistics]]]:
@@ -45,9 +56,11 @@ def run_fig7(
     per_n: Dict[int, Dict[str, RunStatistics]] = {}
     rows = []
     for n_devices in config.device_counts:
-        harness = MonteCarlo(n_runs=config.n_runs, seed=config.seed + n_devices)
+        harness = config.monte_carlo(seed=config.seed + n_devices)
         stats = harness.run(
-            lambda rng, _run: transmissions_once(rng, config, n_devices)
+            partial(_fig7_run, config=config, n_devices=n_devices),
+            cache_tag=f"fig7/{n_devices}",
+            config_fingerprint=config.fingerprint(),
         )
         per_n[n_devices] = stats
         tx = stats["transmissions"]

@@ -9,6 +9,7 @@ the connected-mode split, swept over the three payload sizes.
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 import numpy as np
@@ -24,7 +25,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import Table, percent
 from repro.sim.executor import CampaignExecutor
 from repro.sim.metrics import CampaignResult
-from repro.sim.montecarlo import MonteCarlo, RunStatistics
+from repro.sim.montecarlo import RunStatistics
 from repro.timebase import format_bytes
 from repro.traffic.generator import generate_fleet
 
@@ -79,16 +80,37 @@ def compare_mechanisms_once(
     return metrics
 
 
+def _fig6_run(
+    rng: np.random.Generator,
+    _run_index: int,
+    config: ExperimentConfig,
+    payload_bytes: int,
+) -> Dict[str, float]:
+    """Picklable Fig. 6 run function (process-backend compatible)."""
+    return compare_mechanisms_once(rng, config, payload_bytes)
+
+
+def _fig6_stats(
+    config: ExperimentConfig, payload_bytes: int
+) -> Dict[str, RunStatistics]:
+    """The Fig. 6 Monte-Carlo campaign for one payload size.
+
+    Fig. 6(a) and 6(b) share the same per-run computation, so they share
+    one cache entry per payload size.
+    """
+    harness = config.monte_carlo()
+    return harness.run(
+        partial(_fig6_run, config=config, payload_bytes=payload_bytes),
+        cache_tag=f"fig6/{payload_bytes}",
+        config_fingerprint=config.fingerprint(),
+    )
+
+
 def run_fig6a(
     config: ExperimentConfig = ExperimentConfig(),
 ) -> Tuple[Table, Dict[str, RunStatistics]]:
     """Fig. 6(a): relative light-sleep uptime increase vs unicast."""
-    harness = MonteCarlo(n_runs=config.n_runs, seed=config.seed)
-    stats = harness.run(
-        lambda rng, _run: compare_mechanisms_once(
-            rng, config, config.default_payload
-        )
-    )
+    stats = _fig6_stats(config, config.default_payload)
     rows = []
     for name in FIG6_MECHANISMS:
         light = stats[f"{name}/light_sleep"]
@@ -125,10 +147,7 @@ def run_fig6b(
     all_stats: Dict[str, Dict[str, RunStatistics]] = {}
     rows = []
     for payload in config.payload_sizes:
-        harness = MonteCarlo(n_runs=config.n_runs, seed=config.seed)
-        stats = harness.run(
-            lambda rng, _run: compare_mechanisms_once(rng, config, payload)
-        )
+        stats = _fig6_stats(config, payload)
         all_stats[format_bytes(payload)] = stats
         for name in FIG6_MECHANISMS:
             connected = stats[f"{name}/connected"]

@@ -9,7 +9,10 @@ Two executors produce identical campaign results from a plan:
   integration tests to cross-validate the arithmetic and by examples
   that want an inspectable event trace.
 
-:mod:`repro.sim.montecarlo` runs seeded repetitions and aggregates.
+:mod:`repro.sim.montecarlo` runs seeded repetitions and aggregates,
+either in-process (``backend="serial"``) or sharded across a process
+pool (``backend="process"``, :mod:`repro.sim.parallel`) with an
+optional on-disk :class:`~repro.sim.parallel.ResultCache`.
 """
 
 from repro.sim.rng import generator_for, spawn_generators
@@ -18,7 +21,13 @@ from repro.sim.executor import CampaignExecutor
 from repro.sim.events import Event, EventKind
 from repro.sim.engine import Simulator
 from repro.sim.replay import EventDrivenCampaign
-from repro.sim.montecarlo import MonteCarlo, RunStatistics
+from repro.sim.montecarlo import (
+    BACKENDS,
+    MonteCarlo,
+    RunStatistics,
+    run_monte_carlo,
+)
+from repro.sim.parallel import ResultCache, fingerprint, shard_ranges
 
 __all__ = [
     "generator_for",
@@ -31,6 +40,11 @@ __all__ = [
     "EventKind",
     "Simulator",
     "EventDrivenCampaign",
+    "BACKENDS",
     "MonteCarlo",
     "RunStatistics",
+    "run_monte_carlo",
+    "ResultCache",
+    "fingerprint",
+    "shard_ranges",
 ]

@@ -5,21 +5,32 @@ spawns one independent child generator per run from a root seed, maps a
 caller-supplied run function over them, and aggregates each returned
 metric into a :class:`RunStatistics` (mean, standard deviation, 95 %
 confidence half-width).
+
+Two execution backends produce bit-identical results:
+
+* ``serial`` — runs in-process, one run after another (the default);
+* ``process`` — shards the run list across a process pool
+  (:mod:`repro.sim.parallel`); requires a picklable run function.
+
+An optional :class:`~repro.sim.parallel.ResultCache` short-circuits
+repeated campaigns: when a ``cache_tag`` is supplied and the cache holds
+matching metric arrays, no runs execute at all.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.sim.parallel import ResultCache, RunFn, run_in_processes
 from repro.sim.rng import spawn_generators
 
-#: A run function: (rng, run_index) -> {metric name: value}.
-RunFn = Callable[[np.random.Generator, int], Mapping[str, float]]
+#: Execution backends accepted by :class:`MonteCarlo`.
+BACKENDS = ("serial", "process")
 
 
 @dataclass(frozen=True)
@@ -71,16 +82,66 @@ class RunStatistics:
         return f"{self.mean:.4g} ± {self.ci95_halfwidth:.2g} (n={self.n})"
 
 
-class MonteCarlo:
-    """Runs a seeded experiment ``n_runs`` times and aggregates metrics."""
+def _validate(
+    run_index: int,
+    metrics: Mapping[str, float],
+    expected_keys: "Optional[frozenset[str]]",
+) -> "frozenset[str]":
+    """Check one run's metric dict; returns the expected key set."""
+    if not metrics:
+        raise ConfigurationError(f"run {run_index} returned no metrics")
+    keys = frozenset(metrics)
+    if expected_keys is not None and keys != expected_keys:
+        raise ConfigurationError(
+            f"run {run_index} returned keys {sorted(keys)}, "
+            f"expected {sorted(expected_keys)}"
+        )
+    return keys
 
-    def __init__(self, n_runs: int = 100, seed: int = 2018) -> None:
+
+def _collect(per_run: Sequence[Mapping[str, float]]) -> Dict[str, List[float]]:
+    """Validate per-run metric dicts and pivot them into columns."""
+    collected: Dict[str, List[float]] = {}
+    expected_keys = None
+    for run_index, metrics in enumerate(per_run):
+        expected_keys = _validate(run_index, metrics, expected_keys)
+        for key, value in metrics.items():
+            collected.setdefault(key, []).append(float(value))
+    return collected
+
+
+class MonteCarlo:
+    """Runs a seeded experiment ``n_runs`` times and aggregates metrics.
+
+    ``backend`` selects how the runs execute (``"serial"`` or
+    ``"process"``); both spawn run ``i``'s generator identically, so the
+    aggregated arrays are bit-for-bit equal across backends and worker
+    counts.
+    """
+
+    def __init__(
+        self,
+        n_runs: int = 100,
+        seed: int = 2018,
+        backend: str = "serial",
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
         """``seed`` defaults to the paper's publication year, because a
         default seed has to be something."""
         if n_runs < 1:
             raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+        if backend not in BACKENDS:
+            raise ConfigurationError(
+                f"backend must be one of {BACKENDS}, got {backend!r}"
+            )
+        if workers is not None and workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
         self._n_runs = n_runs
         self._seed = seed
+        self._backend = backend
+        self._workers = workers
+        self._cache = cache
 
     @property
     def n_runs(self) -> int:
@@ -92,27 +153,97 @@ class MonteCarlo:
         """Root seed."""
         return self._seed
 
-    def run(self, fn: RunFn) -> Dict[str, RunStatistics]:
-        """Execute ``fn`` once per run and aggregate every metric."""
-        collected: Dict[str, List[float]] = {}
-        expected_keys = None
-        for run_index, rng in enumerate(spawn_generators(self._seed, self._n_runs)):
-            metrics = fn(rng, run_index)
-            if not metrics:
-                raise ConfigurationError(
-                    f"run {run_index} returned no metrics"
-                )
-            keys = frozenset(metrics)
-            if expected_keys is None:
-                expected_keys = keys
-            elif keys != expected_keys:
-                raise ConfigurationError(
-                    f"run {run_index} returned keys {sorted(keys)}, "
-                    f"expected {sorted(expected_keys)}"
-                )
-            for key, value in metrics.items():
-                collected.setdefault(key, []).append(float(value))
+    @property
+    def backend(self) -> str:
+        """Execution backend name."""
+        return self._backend
+
+    @property
+    def workers(self) -> Optional[int]:
+        """Process-pool size (None = all cores; ignored when serial)."""
+        return self._workers
+
+    def run(
+        self,
+        fn: RunFn,
+        cache_tag: Optional[str] = None,
+        config_fingerprint: str = "",
+    ) -> Dict[str, RunStatistics]:
+        """Execute ``fn`` once per run and aggregate every metric.
+
+        When a cache is attached *and* ``cache_tag`` identifies the
+        campaign, a prior result with the same (tag, fingerprint, seed,
+        n_runs, code version) is returned without executing anything,
+        and a fresh result is persisted for next time.
+
+        Every scenario parameter baked into ``fn`` must be covered by
+        ``config_fingerprint`` (or the tag itself) — otherwise two
+        different scenarios share a key and the second reads the
+        first's stale results. Config-driven callers should pass
+        ``config.fingerprint()``.
+        """
+        key = None
+        if self._cache is not None and cache_tag is not None:
+            key = ResultCache.key(
+                cache_tag, config_fingerprint, self._seed, self._n_runs
+            )
+            cached = self._cache.load(key)
+            if cached is not None:
+                return {
+                    name: RunStatistics(values=values)
+                    for name, values in cached.items()
+                }
+
+        if self._backend == "process":
+            per_run = run_in_processes(
+                fn, self._seed, self._n_runs, workers=self._workers
+            )
+        else:
+            # Validate as each run completes so a bad run fn fails the
+            # campaign at run 0, not after the whole serial loop.
+            per_run = []
+            expected_keys = None
+            for run_index, rng in enumerate(
+                spawn_generators(self._seed, self._n_runs)
+            ):
+                metrics = fn(rng, run_index)
+                expected_keys = _validate(run_index, metrics, expected_keys)
+                per_run.append(metrics)
+        collected = _collect(per_run)
+
+        if key is not None:
+            assert self._cache is not None
+            self._cache.store(
+                key,
+                collected,
+                meta={
+                    "tag": cache_tag,
+                    "fingerprint": config_fingerprint,
+                    "seed": self._seed,
+                    "n_runs": self._n_runs,
+                },
+            )
         return {
-            key: RunStatistics(values=np.asarray(vals, dtype=np.float64))
-            for key, vals in collected.items()
+            name: RunStatistics(values=np.asarray(vals, dtype=np.float64))
+            for name, vals in collected.items()
         }
+
+
+def run_monte_carlo(
+    fn: RunFn,
+    n_runs: int = 100,
+    seed: int = 2018,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    cache_tag: Optional[str] = None,
+    config_fingerprint: str = "",
+) -> Dict[str, RunStatistics]:
+    """One-call front for the harness: build a :class:`MonteCarlo` with
+    the requested backend and run ``fn``."""
+    harness = MonteCarlo(
+        n_runs=n_runs, seed=seed, backend=backend, workers=workers, cache=cache
+    )
+    return harness.run(
+        fn, cache_tag=cache_tag, config_fingerprint=config_fingerprint
+    )

@@ -1,0 +1,251 @@
+"""Parallel sharded Monte-Carlo execution and an on-disk result cache.
+
+The serial harness maps the run function over ``n_runs`` child
+generators one by one. This module provides the ``process`` backend:
+the run-index range is split into contiguous shards, each shard is
+dispatched to a :class:`~concurrent.futures.ProcessPoolExecutor`
+worker, and every worker re-derives the *same* child generators from
+the root seed (``SeedSequence(seed).spawn(n_runs)`` sliced to its
+shard). Run ``i`` therefore sees an identical generator no matter how
+many workers execute the campaign — results are bit-identical to the
+serial path for any worker count.
+
+The :class:`ResultCache` persists aggregated metric arrays keyed by
+``(scenario fingerprint, seed, n_runs, code version)`` so regenerating
+an already-computed figure is a cache lookup instead of a simulation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro._version import __version__
+from repro.errors import ConfigurationError
+
+#: A run function: (rng, run_index) -> {metric name: value}.
+RunFn = Callable[[np.random.Generator, int], Mapping[str, float]]
+
+#: Shards dispatched per worker; >1 smooths out uneven shard runtimes.
+CHUNKS_PER_WORKER = 4
+
+
+# ----------------------------------------------------------------------
+# Sharding
+# ----------------------------------------------------------------------
+def shard_ranges(n_runs: int, n_shards: int) -> List[range]:
+    """Split ``range(n_runs)`` into at most ``n_shards`` contiguous,
+    non-empty, near-equal ranges covering every run index exactly once."""
+    if n_runs < 1:
+        raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    n_shards = min(n_shards, n_runs)
+    base, extra = divmod(n_runs, n_shards)
+    ranges = []
+    start = 0
+    for shard in range(n_shards):
+        size = base + (1 if shard < extra else 0)
+        ranges.append(range(start, start + size))
+        start += size
+    return ranges
+
+
+def _execute_shard(
+    fn: RunFn, seed: int, n_runs: int, start: int, stop: int
+) -> List[Dict[str, float]]:
+    """Worker entry point: run indices ``[start, stop)`` of the campaign.
+
+    Spawns the full ``n_runs`` child sequence and slices it, so run ``i``
+    gets the exact generator the serial path would hand it.
+    """
+    children = np.random.SeedSequence(seed).spawn(n_runs)[start:stop]
+    out: List[Dict[str, float]] = []
+    for offset, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        out.append({k: float(v) for k, v in fn(rng, start + offset).items()})
+    return out
+
+
+def default_workers() -> int:
+    """Worker count used when none is given (all visible cores)."""
+    return max(1, os.cpu_count() or 1)
+
+
+def run_in_processes(
+    fn: RunFn,
+    seed: int,
+    n_runs: int,
+    workers: Optional[int] = None,
+    chunks_per_worker: int = CHUNKS_PER_WORKER,
+) -> List[Dict[str, float]]:
+    """Execute ``fn`` for every run index across a process pool.
+
+    Returns the per-run metric dicts in run-index order. ``fn`` must be
+    picklable (a module-level function or :func:`functools.partial` of
+    one — not a lambda or closure).
+    """
+    workers = default_workers() if workers is None else workers
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if chunks_per_worker < 1:
+        raise ConfigurationError(
+            f"chunks_per_worker must be >= 1, got {chunks_per_worker}"
+        )
+    try:
+        pickle.dumps(fn)
+    except Exception as exc:
+        raise ConfigurationError(
+            "backend='process' requires a picklable run function "
+            "(module-level function or functools.partial of one); "
+            f"got {fn!r}: {exc}"
+        ) from exc
+
+    shards = shard_ranges(n_runs, workers * chunks_per_worker)
+    results: List[Optional[List[Dict[str, float]]]] = [None] * len(shards)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(
+                _execute_shard, fn, seed, n_runs, shard.start, shard.stop
+            ): i
+            for i, shard in enumerate(shards)
+        }
+        for future, i in futures.items():
+            results[i] = future.result()
+    out: List[Dict[str, float]] = []
+    for shard_result in results:
+        assert shard_result is not None
+        out.extend(shard_result)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Scenario fingerprinting
+# ----------------------------------------------------------------------
+def _canonical(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-stable primitives.
+
+    Plain objects are fingerprinted through their ``vars()`` so every
+    attribute participates (a lossy ``repr`` would let two differently
+    calibrated scenarios collide on one cache key). Mapping keys are
+    canonicalised to strings and sorted, so enum-keyed mappings hash
+    stably too.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return _canonical(asdict(obj))
+    if isinstance(obj, Mapping):
+        return dict(
+            sorted((str(k), _canonical(v)) for k, v in obj.items())
+        )
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = [_canonical(v) for v in obj]
+        if isinstance(obj, (set, frozenset)):
+            items = sorted(items, key=repr)
+        return items
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    attrs = getattr(obj, "__dict__", None)
+    if attrs:
+        return {
+            "__class__": type(obj).__qualname__,
+            **dict(sorted((str(k), _canonical(v)) for k, v in attrs.items())),
+        }
+    return repr(obj)
+
+
+def fingerprint(obj: Any) -> str:
+    """A short stable hash of a (nested) dataclass / mapping / sequence."""
+    blob = json.dumps(_canonical(obj), sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+class ResultCache:
+    """Persists aggregated Monte-Carlo metric arrays as JSON files.
+
+    A cache entry is keyed by the sha256 of
+    ``(tag, scenario fingerprint, seed, n_runs, code version)``; bumping
+    the package version therefore invalidates every prior entry, and any
+    change to the experiment configuration changes the fingerprint.
+    """
+
+    def __init__(self, directory: "str | os.PathLike[str]") -> None:
+        self._dir = Path(directory)
+
+    @property
+    def directory(self) -> Path:
+        """Root directory entries are written beneath."""
+        return self._dir
+
+    @staticmethod
+    def key(
+        tag: str,
+        config_fingerprint: str,
+        seed: int,
+        n_runs: int,
+        version: str = __version__,
+    ) -> str:
+        """The cache key for one aggregated campaign."""
+        blob = json.dumps(
+            {
+                "tag": tag,
+                "fingerprint": config_fingerprint,
+                "seed": seed,
+                "n_runs": n_runs,
+                "version": version,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self._dir / f"{key}.json"
+
+    def load(self, key: str) -> Optional[Dict[str, np.ndarray]]:
+        """The stored metric arrays for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (FileNotFoundError, json.JSONDecodeError):
+            return None
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            return None
+        try:
+            return {
+                name: np.asarray(values, dtype=np.float64)
+                for name, values in metrics.items()
+            }
+        except (TypeError, ValueError):
+            return None  # structurally corrupt entry == miss
+
+    def store(
+        self,
+        key: str,
+        metrics: Mapping[str, Sequence[float]],
+        meta: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Persist ``metrics`` under ``key`` (atomic rename)."""
+        self._dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "meta": dict(meta or {}),
+            "metrics": {
+                name: [float(v) for v in values]
+                for name, values in metrics.items()
+            },
+        }
+        path = self._path(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload), encoding="utf-8")
+        tmp.replace(path)
+        return path
