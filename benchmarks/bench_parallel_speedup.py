@@ -20,7 +20,7 @@ import time
 from functools import partial
 
 import numpy as np
-from conftest import _env_int, emit
+from conftest import _env_int, emit, write_bench_artifact
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.reporting import Table, render_table
@@ -75,6 +75,17 @@ def test_a8_parallel_speedup(benchmark, capsys):
 
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
     cores = os.cpu_count() or 1
+    write_bench_artifact(
+        "parallel_speedup",
+        {
+            "benchmark": "a8_parallel_speedup",
+            "serial_s": serial_s,
+            "parallel_s": parallel_s,
+            "speedup": speedup,
+            "workers": SPEEDUP_WORKERS,
+            "cores": cores,
+        },
+    )
     benchmark.extra_info["serial_s"] = serial_s
     benchmark.extra_info["parallel_s"] = parallel_s
     benchmark.extra_info["speedup"] = speedup

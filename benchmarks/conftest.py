@@ -8,12 +8,20 @@ Monte-Carlo runs, fleets up to 1000 devices), or tune individually with
 execution backend is selectable too: ``REPRO_BENCH_BACKEND=process``
 and ``REPRO_BENCH_WORKERS=N`` shard every figure's run loop across a
 process pool (identical numbers, lower wall-clock).
+
+Timing benchmarks persist their measurements as ``BENCH_<name>.json``
+artifacts (via :func:`write_bench_artifact`) so CI can upload them and
+the project accumulates a perf trajectory. ``REPRO_BENCH_ARTIFACT_DIR``
+overrides the output directory (default: the current working directory).
 """
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import replace
+from pathlib import Path
+from typing import Any, Dict
 
 import pytest
 
@@ -58,3 +66,17 @@ def emit(capsys, text: str) -> None:
     with capsys.disabled():
         print()
         print(text)
+
+
+def write_bench_artifact(name: str, payload: Dict[str, Any]) -> Path:
+    """Persist one benchmark's measurements as ``BENCH_<name>.json``.
+
+    The directory is ``REPRO_BENCH_ARTIFACT_DIR`` when set (created if
+    missing), the current working directory otherwise. Returns the path
+    written so callers can report it.
+    """
+    directory = Path(os.environ.get("REPRO_BENCH_ARTIFACT_DIR", "."))
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

@@ -5,6 +5,7 @@ Examples::
     python -m repro figures --figure 7 --runs 20
     python -m repro figures --figure all --runs 5 --devices 200
     python -m repro figures --figure 6a --backend process --workers 4 --cache
+    python -m repro figures --figure 7 --runs 3 --device-counts 1000,10000,100000
     python -m repro demo --mechanism da-sc --devices 100 --payload 100000
 """
 
@@ -51,6 +52,16 @@ def _build_parser() -> argparse.ArgumentParser:
     figures.add_argument(
         "--devices", type=int, default=None, help="fleet size for Fig. 6"
     )
+    figures.add_argument(
+        "--device-counts",
+        default=None,
+        metavar="N,N,...",
+        help=(
+            "comma-separated fleet sizes for the Fig. 7 sweep "
+            "(e.g. 1000,10000,100000 — the columnar fast path keeps "
+            "10^5-device sweeps practical)"
+        ),
+    )
     figures.add_argument("--seed", type=int, default=None, help="root seed")
     figures.add_argument(
         "--backend",
@@ -88,6 +99,17 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _parse_counts(spec: str) -> tuple:
+    """Parse a ``--device-counts`` comma list into a tuple of ints."""
+    try:
+        counts = tuple(int(part) for part in spec.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit(f"--device-counts must be a comma list of ints, got {spec!r}")
+    if not counts:
+        raise SystemExit("--device-counts must name at least one fleet size")
+    return counts
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -97,6 +119,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             config = replace(config, n_runs=args.runs)
         if args.devices is not None:
             config = replace(config, n_devices=args.devices)
+        if args.device_counts is not None:
+            config = replace(config, device_counts=_parse_counts(args.device_counts))
         if args.seed is not None:
             config = replace(config, seed=args.seed)
         if args.backend is not None:

@@ -11,7 +11,7 @@ from repro.devices.identity import DeviceIdentity
 from repro.devices.profiles import DeviceCategory
 from repro.devices.battery import Battery
 from repro.devices.device import NbIotDevice
-from repro.devices.fleet import Fleet
+from repro.devices.fleet import COVERAGE_ORDER, Fleet
 
 __all__ = [
     "DeviceIdentity",
@@ -19,4 +19,5 @@ __all__ = [
     "Battery",
     "NbIotDevice",
     "Fleet",
+    "COVERAGE_ORDER",
 ]

@@ -17,6 +17,12 @@ from repro.drx.cycles import DrxCycle
 from repro.errors import FleetError
 from repro.phy.coverage import PROFILES, CoverageClass
 
+#: Coverage classes in the fixed order :attr:`Fleet.coverage_codes`
+#: indexes into (code ``i`` means ``COVERAGE_ORDER[i]``).
+COVERAGE_ORDER: Tuple[CoverageClass, ...] = tuple(CoverageClass)
+
+_COVERAGE_CODE = {coverage: i for i, coverage in enumerate(COVERAGE_ORDER)}
+
 
 class Fleet:
     """An ordered, immutable collection of NB-IoT devices."""
@@ -37,6 +43,19 @@ class Fleet:
         self._rates = np.array(
             [PROFILES[d.coverage].downlink_bps for d in self._devices],
             dtype=np.float64,
+        )
+        self._coverage_codes = np.array(
+            [_COVERAGE_CODE[d.coverage] for d in self._devices], dtype=np.int64
+        )
+        self._ue_ids = np.array(
+            [d.drx.ue_id for d in self._devices], dtype=np.int64
+        )
+        nb_fractions = [d.drx.nb.fraction for d in self._devices]
+        self._nb_numerators = np.array(
+            [f.numerator for f in nb_fractions], dtype=np.int64
+        )
+        self._nb_denominators = np.array(
+            [f.denominator for f in nb_fractions], dtype=np.int64
         )
 
     # ------------------------------------------------------------------
@@ -73,6 +92,26 @@ class Fleet:
     def downlink_rates_bps(self) -> np.ndarray:
         """Per-device sustained downlink rate."""
         return self._rates.copy()
+
+    @property
+    def coverage_codes(self) -> np.ndarray:
+        """Per-device coverage class as an index into :data:`COVERAGE_ORDER`."""
+        return self._coverage_codes.copy()
+
+    @property
+    def ue_ids(self) -> np.ndarray:
+        """Per-device paging identity (IMSI mod 4096)."""
+        return self._ue_ids.copy()
+
+    @property
+    def nb_numerators(self) -> np.ndarray:
+        """Numerator of each device's cell ``nB`` fraction (nB = num/den · T)."""
+        return self._nb_numerators.copy()
+
+    @property
+    def nb_denominators(self) -> np.ndarray:
+        """Denominator of each device's cell ``nB`` fraction."""
+        return self._nb_denominators.copy()
 
     # ------------------------------------------------------------------
     # Aggregates

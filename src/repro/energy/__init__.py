@@ -19,7 +19,13 @@ from repro.energy.profiles import (
     EnergyProfile,
     REPRESENTATIVE_MODULE,
 )
-from repro.energy.ledger import UptimeLedger, UptimeTotals
+from repro.energy.ledger import (
+    STATE_INDEX,
+    STATE_ORDER,
+    LedgerArray,
+    UptimeLedger,
+    UptimeTotals,
+)
 from repro.energy.lifetime import DutyCycle, LifetimeProjection, project_lifetime
 
 __all__ = [
@@ -31,6 +37,9 @@ __all__ = [
     "DEFAULT_PROFILE",
     "UptimeLedger",
     "UptimeTotals",
+    "LedgerArray",
+    "STATE_ORDER",
+    "STATE_INDEX",
     "DutyCycle",
     "LifetimeProjection",
     "project_lifetime",

@@ -28,6 +28,11 @@ class ExperimentConfig:
     executes (see :mod:`repro.sim.parallel`); ``cache_dir`` enables the
     on-disk result cache so re-running a figure with unchanged
     parameters is free. None of the three affects the numbers produced.
+
+    ``device_counts`` is not limited to the paper's 100-1000 range: the
+    columnar executor and incremental cover keep sweeps practical at
+    10^4-10^5 devices (``python -m repro figures --figure 7
+    --device-counts 1000,10000,100000``).
     """
 
     mixture: TrafficMixture = PAPER_DEFAULT_MIXTURE
@@ -56,6 +61,10 @@ class ExperimentConfig:
             )
         if not self.device_counts:
             raise ConfigurationError("device_counts must not be empty")
+        if any(count < 1 for count in self.device_counts):
+            raise ConfigurationError(
+                f"device_counts entries must be >= 1, got {self.device_counts}"
+            )
         if self.n_runs < 1:
             raise ConfigurationError(f"n_runs must be >= 1, got {self.n_runs}")
         if self.backend not in BACKENDS:

@@ -10,15 +10,23 @@ problem, given a greedy set selection approach [10]."
   covering the most not-yet-updated devices (vectorised);
 * :mod:`repro.setcover.greedy` — the iterated greedy cover (Chvátal) and
   a generic greedy set cover for arbitrary set systems;
+* :mod:`repro.setcover.incremental` — the build-once sweep behind the
+  default ``method="incremental"`` greedy cover (covered devices'
+  intervals are subtracted instead of re-deriving the sweep per round);
 * :mod:`repro.setcover.exact` — branch-and-bound exact minimum cover for
   small instances, used to test the greedy's approximation quality.
 """
 
 from repro.setcover.windows import BestWindow, best_window, coverage_intervals
 from repro.setcover.greedy import (
+    COVER_METHODS,
     GreedyWindowCover,
     greedy_set_cover,
     greedy_window_cover,
+)
+from repro.setcover.incremental import (
+    IncrementalSweep,
+    incremental_greedy_window_cover,
 )
 from repro.setcover.exact import exact_min_set_cover, exact_min_window_cover
 
@@ -26,9 +34,12 @@ __all__ = [
     "coverage_intervals",
     "BestWindow",
     "best_window",
+    "COVER_METHODS",
     "GreedyWindowCover",
     "greedy_window_cover",
     "greedy_set_cover",
+    "IncrementalSweep",
+    "incremental_greedy_window_cover",
     "exact_min_set_cover",
     "exact_min_window_cover",
 ]

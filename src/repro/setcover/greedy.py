@@ -3,21 +3,37 @@
 The window-specialised :func:`greedy_window_cover` is the algorithm of
 paper Sec. III-A / Fig. 4: repeatedly find the TI-window holding the
 most not-yet-updated devices, schedule a transmission at its last frame,
-mark the covered devices updated, repeat until none remain. The generic
-:func:`greedy_set_cover` is used to cross-check it on explicit set
-systems and in the approximation-quality tests against the exact solver.
+mark the covered devices updated, repeat until none remain. Two
+implementations produce identical covers:
+
+* ``method="incremental"`` (default) — builds the sweep event list once
+  and subtracts covered devices' intervals after each selection
+  (:mod:`repro.setcover.incremental`), the fleet-scale fast path;
+* ``method="reference"`` — re-runs the full
+  :func:`~repro.setcover.windows.best_window` sweep on the shrunken
+  fleet each round, kept as the equivalence oracle.
+
+The generic :func:`greedy_set_cover` is used to cross-check the window
+cover on explicit set systems and in the approximation-quality tests
+against the exact solver; it maintains per-set residual gains in a lazy
+max-heap, so it also scales past toy instances.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.errors import SetCoverError
+from repro.setcover.incremental import incremental_greedy_window_cover
 from repro.setcover.windows import best_window
 from repro.timebase import FrameWindow
+
+#: Valid ``method=`` values of :func:`greedy_window_cover`.
+COVER_METHODS = ("incremental", "reference")
 
 
 @dataclass(frozen=True)
@@ -56,6 +72,7 @@ def greedy_window_cover(
     horizon_start: int,
     horizon_end: int,
     rng: Optional[np.random.Generator] = None,
+    method: str = "incremental",
 ) -> GreedyWindowCover:
     """Cover every device with TI-windows, greedily largest-first.
 
@@ -64,6 +81,11 @@ def greedy_window_cover(
     period twice as long as the largest DRX, so we only need to search
     this length of time" (Sec. III-A). Every device has at least one PO
     in such a horizon, so termination is guaranteed.
+
+    ``method`` selects the implementation — ``"incremental"`` (build the
+    sweep once, subtract covered intervals per round) or ``"reference"``
+    (full re-sweep per round). Both produce identical covers, including
+    tie-break behaviour for any given ``rng`` stream.
     """
     phases = np.asarray(phases, dtype=np.int64)
     periods = np.asarray(periods, dtype=np.int64)
@@ -75,6 +97,16 @@ def greedy_window_cover(
             "horizon shorter than twice the longest cycle: some devices "
             "may have no PO inside it"
         )
+    if method not in COVER_METHODS:
+        raise SetCoverError(
+            f"method must be one of {COVER_METHODS}, got {method!r}"
+        )
+
+    if method == "incremental":
+        windows_inc, assignments_inc = incremental_greedy_window_cover(
+            phases, periods, window_len, horizon_start, horizon_end, rng
+        )
+        return GreedyWindowCover(windows=windows_inc, assignments=assignments_inc)
 
     remaining = np.arange(n, dtype=np.int64)
     windows: List[FrameWindow] = []
@@ -106,24 +138,34 @@ def greedy_set_cover(
     :class:`~repro.errors.SetCoverError` if the union of ``sets`` does
     not cover ``universe``. Ties are broken by lowest set index, which
     keeps the function deterministic for tests.
+
+    Residual gains are kept in a lazy max-heap: gains are submodular
+    (they only shrink as elements get covered), so a popped entry whose
+    recomputed gain still matches is globally maximal and stale entries
+    are simply re-pushed. Each round costs ``O(log |sets|)`` amortised
+    plus the intersections actually recomputed, instead of rescanning
+    every candidate set.
     """
-    covered: Set[int] = set()
     uncovered = set(universe)
     chosen: List[int] = []
+    # Heap of (-gain, index): equal gains pop the lowest index first,
+    # exactly the reference scan's tie-break.
+    heap = [(-len(s & uncovered), i) for i, s in enumerate(sets)]
+    heapq.heapify(heap)
     while uncovered:
         best_idx = -1
-        best_gain = 0
-        for i, candidate in enumerate(sets):
-            gain = len(candidate & uncovered)
-            if gain > best_gain:
-                best_gain = gain
-                best_idx = i
+        while heap:
+            neg_gain, i = heapq.heappop(heap)
+            gain = len(sets[i] & uncovered)
+            if gain == -neg_gain:
+                if gain > 0:
+                    best_idx = i
+                break  # a zero top gain means nothing useful remains
+            heapq.heappush(heap, (-gain, i))
         if best_idx < 0:
             raise SetCoverError(
                 f"sets cannot cover universe: {sorted(uncovered)} uncoverable"
             )
         chosen.append(best_idx)
-        newly = sets[best_idx] & uncovered
-        covered |= newly
-        uncovered -= newly
+        uncovered -= sets[best_idx]
     return chosen

@@ -1,9 +1,13 @@
 """Simulation: executors, the event engine and the Monte-Carlo harness.
 
-Two executors produce identical campaign results from a plan:
+Three executors produce equivalent campaign results from a plan:
 
-* :class:`~repro.sim.executor.CampaignExecutor` — direct per-device
-  timeline arithmetic (fast path used by experiments);
+* :class:`~repro.sim.executor.CampaignExecutor` with ``columnar=True``
+  (the default) — the vectorised fleet fast path
+  (:mod:`repro.sim.columnar`): whole-fleet array arithmetic and an
+  array-of-ledgers, used by experiments;
+* the same executor with ``columnar=False`` — direct per-device
+  timeline arithmetic, kept as the equivalence oracle;
 * :class:`~repro.sim.replay.EventDrivenCampaign` — replays the plan on
   the discrete-event engine (:mod:`repro.sim.engine`), used by the
   integration tests to cross-validate the arithmetic and by examples
@@ -16,8 +20,14 @@ optional on-disk :class:`~repro.sim.parallel.ResultCache`.
 """
 
 from repro.sim.rng import generator_for, spawn_generators
-from repro.sim.metrics import CampaignResult, DeviceOutcome, FleetSummary
+from repro.sim.metrics import (
+    CampaignResult,
+    DeviceOutcome,
+    FleetOutcomes,
+    FleetSummary,
+)
 from repro.sim.executor import CampaignExecutor
+from repro.sim.columnar import execute_columnar
 from repro.sim.events import Event, EventKind
 from repro.sim.engine import Simulator
 from repro.sim.replay import EventDrivenCampaign
@@ -34,8 +44,10 @@ __all__ = [
     "spawn_generators",
     "DeviceOutcome",
     "CampaignResult",
+    "FleetOutcomes",
     "FleetSummary",
     "CampaignExecutor",
+    "execute_columnar",
     "Event",
     "EventKind",
     "Simulator",

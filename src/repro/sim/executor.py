@@ -25,7 +25,6 @@ The same accounting is reproduced event-by-event in
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -41,26 +40,46 @@ from repro.energy.states import PowerState
 from repro.errors import SimulationError
 from repro.rrc.procedures import ProcedureTimings
 from repro.sim.metrics import CampaignResult, DeviceOutcome
-from repro.timebase import frames_to_seconds
-
-_FRAME_S = 0.010
-
+from repro.timebase import (
+    frame_at_or_after_ms,
+    frames_to_seconds,
+    seconds_to_nearest_ms,
+)
 
 def _frame_after(time_s: float) -> int:
-    """First frame index fully at or after ``time_s``."""
-    return int(math.ceil(time_s / _FRAME_S - 1e-9))
+    """First frame boundary at or after ``time_s`` on the subframe grid.
+
+    The instant is snapped to the nearest integer millisecond (the 1 ms
+    subframe is the radio timeline's physical granularity) and the frame
+    index is then an exact integer ceiling — so the rounding cannot
+    drift however long the horizon grows. Snapping means an instant less
+    than half a subframe past a frame boundary resolves to that
+    boundary; all control-plane durations are whole milliseconds, so
+    only modelling artifacts (fractional-ms payload airtimes, random
+    backoffs) are affected, and all three executors share this helper.
+    """
+    return frame_at_or_after_ms(seconds_to_nearest_ms(time_s))
 
 
 class CampaignExecutor:
-    """Executes plans with direct timeline arithmetic (the fast path)."""
+    """Executes plans with direct timeline arithmetic (the fast path).
+
+    ``columnar=True`` (the default) runs the vectorised NumPy path of
+    :mod:`repro.sim.columnar`: one array-of-ledgers instead of
+    per-device Python objects, equivalent to the per-device reference
+    path within float tolerance. ``columnar=False`` keeps the original
+    per-device loop, retained as the equivalence oracle.
+    """
 
     def __init__(
         self,
         timings: ProcedureTimings = ProcedureTimings(),
         energy_profile: EnergyProfile = DEFAULT_PROFILE,
+        columnar: bool = True,
     ) -> None:
         self._timings = timings
         self._profile = energy_profile
+        self._columnar = columnar
 
     @property
     def timings(self) -> ProcedureTimings:
@@ -87,6 +106,17 @@ class CampaignExecutor:
         ``rng`` is only needed when the random access model injects
         contention.
         """
+        if self._columnar:
+            from repro.sim.columnar import execute_columnar
+
+            return execute_columnar(
+                fleet,
+                plan,
+                timings=self._timings,
+                energy_profile=self._profile,
+                horizon_frames=horizon_frames,
+                rng=rng,
+            )
         per_device = self._prepare_devices(fleet, plan, rng)
         actual_starts = self._transmission_starts(plan, per_device)
         outcomes, horizon = self._account(

@@ -216,7 +216,7 @@ class ResultCache:
         path = self._path(key)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
-        except (FileNotFoundError, json.JSONDecodeError):
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError):
             return None
         metrics = payload.get("metrics")
         if not isinstance(metrics, dict):

@@ -23,11 +23,14 @@ from repro.timebase.frames import (
     SFN_PERIOD,
     SUBFRAMES_PER_FRAME,
     FrameWindow,
+    frame_at_or_after_ms,
+    frame_containing_ms,
     frames_to_ms,
     frames_to_seconds,
     hyperframe_of,
     ms_to_frames,
     seconds_to_frames,
+    seconds_to_nearest_ms,
     sfn_of,
     subframe_count,
     validate_frame,
@@ -49,10 +52,13 @@ __all__ = [
     "FRAMES_PER_HYPERFRAME",
     "SFN_PERIOD",
     "FrameWindow",
+    "frame_at_or_after_ms",
+    "frame_containing_ms",
     "frames_to_ms",
     "frames_to_seconds",
     "ms_to_frames",
     "seconds_to_frames",
+    "seconds_to_nearest_ms",
     "sfn_of",
     "hyperframe_of",
     "subframe_count",

@@ -84,6 +84,39 @@ def seconds_to_frames(seconds: float, *, strict: bool = False) -> int:
     return ms_to_frames(seconds * 1000.0, strict=strict)
 
 
+def seconds_to_nearest_ms(seconds: float) -> int:
+    """Quantise an instant to the nearest integer millisecond.
+
+    The radio timeline is subframe-granular (1 subframe = 1 ms): all
+    control-plane durations are whole milliseconds, and instants that
+    are not (fractional-ms payload airtimes, random backoffs) are
+    modelling artifacts below the protocol's time resolution. Rounding
+    half-to-even absorbs float noise of up to half a subframe regardless
+    of how far from zero the instant is — unlike a fixed epsilon, which
+    double precision outgrows on long horizons.
+    """
+    if seconds < 0:
+        raise TimebaseError(f"instant must be non-negative, got {seconds} s")
+    return int(round(seconds * 1000.0))
+
+
+def frame_at_or_after_ms(ms: int) -> int:
+    """Index of the first frame starting at or after the instant ``ms``.
+
+    Exact integer ceiling division — no floats, no epsilon, no drift.
+    """
+    if ms < 0:
+        raise TimebaseError(f"instant must be non-negative, got {ms} ms")
+    return -((-int(ms)) // MS_PER_FRAME)
+
+
+def frame_containing_ms(ms: int) -> int:
+    """Index of the frame that contains the instant ``ms`` (exact)."""
+    if ms < 0:
+        raise TimebaseError(f"instant must be non-negative, got {ms} ms")
+    return int(ms) // MS_PER_FRAME
+
+
 def sfn_of(frame: int) -> int:
     """System Frame Number (0..1023) of an absolute frame index."""
     return validate_frame(frame) % SFN_PERIOD

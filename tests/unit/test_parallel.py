@@ -178,6 +178,11 @@ class TestResultCache:
         path.write_text("{not json")
         assert ResultCache(tmp_path).load(key) is None
 
+    def test_non_utf8_entry_is_a_miss(self, tmp_path):
+        key = ResultCache.key("t", "f", 1, 1)
+        (tmp_path / f"{key}.json").write_bytes(b"\xff\xfe\x00garbage")
+        assert ResultCache(tmp_path).load(key) is None
+
     @pytest.mark.parametrize(
         "payload",
         [

@@ -9,11 +9,14 @@ from repro.timebase import (
     FrameWindow,
     format_bytes,
     format_duration,
+    frame_at_or_after_ms,
+    frame_containing_ms,
     frames_to_ms,
     frames_to_seconds,
     hyperframe_of,
     ms_to_frames,
     seconds_to_frames,
+    seconds_to_nearest_ms,
     sfn_of,
     subframe_count,
     validate_frame,
@@ -81,6 +84,42 @@ class TestConversions:
 
         assert validate_frame(np.int64(42)) == 42
         assert isinstance(validate_frame(np.int64(42)), int)
+
+
+class TestMillisecondHelpers:
+    def test_frame_at_or_after_exact_boundaries(self):
+        assert frame_at_or_after_ms(0) == 0
+        assert frame_at_or_after_ms(10) == 1
+        assert frame_at_or_after_ms(11) == 2
+        assert frame_at_or_after_ms(19) == 2
+        assert frame_at_or_after_ms(20) == 2
+
+    def test_frame_containing(self):
+        assert frame_containing_ms(0) == 0
+        assert frame_containing_ms(9) == 0
+        assert frame_containing_ms(10) == 1
+
+    def test_nearest_ms_absorbs_float_noise(self):
+        assert seconds_to_nearest_ms(0.01) == 10
+        assert seconds_to_nearest_ms(0.010000000000001) == 10
+        assert seconds_to_nearest_ms(0.009999999999999) == 10
+
+    def test_no_drift_on_long_horizons(self):
+        """The bug the fixed-epsilon version had: a frame-boundary time
+        far from zero must still round to its own frame, because float
+        representation error grows with magnitude but stays far below
+        half a millisecond."""
+        for frame in (1, 123_456, 10**7, 10**9):
+            boundary_s = frames_to_seconds(frame)
+            assert frame_at_or_after_ms(seconds_to_nearest_ms(boundary_s)) == frame
+
+    def test_negative_instants_rejected(self):
+        with pytest.raises(TimebaseError):
+            seconds_to_nearest_ms(-0.001)
+        with pytest.raises(TimebaseError):
+            frame_at_or_after_ms(-1)
+        with pytest.raises(TimebaseError):
+            frame_containing_ms(-1)
 
 
 class TestFrameWindow:
