@@ -1,0 +1,70 @@
+"""Scenario-sweep benchmark: registry x stress-grid wall-clock.
+
+Expands the default three-axis stress grid (devices x collision x loss)
+over every registered scenario, runs each cell through the Monte-Carlo
+harness on the columnar executor, and records per-cell and total
+wall-clock as a ``BENCH_scenario_sweep.json`` artifact. This tracks the
+cost of the "as many scenarios as you can imagine" layer as the
+registry grows.
+
+Tune with ``REPRO_BENCH_SCENARIO_RUNS`` (default 2) and
+``REPRO_BENCH_SCENARIO_DEVICES`` (caps every cell's fleet, default 120).
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import _env_int, emit, write_bench_artifact
+
+from repro.experiments.reporting import render_table
+from repro.scenarios import (
+    DEFAULT_AXES,
+    SweepAxis,
+    all_scenarios,
+    run_sweep,
+    sweep_table,
+)
+
+RUNS = _env_int("REPRO_BENCH_SCENARIO_RUNS", 2)
+DEVICE_CAP = _env_int("REPRO_BENCH_SCENARIO_DEVICES", 120)
+
+
+def test_scenario_sweep_wall_clock(capsys):
+    axes = [
+        SweepAxis(
+            name,
+            tuple(min(v, DEVICE_CAP) for v in values)
+            if name == "devices"
+            else values,
+        )
+        for name, values in DEFAULT_AXES
+    ]
+    specs = all_scenarios()
+    start = time.perf_counter()
+    results = run_sweep(specs, axes, n_runs=RUNS)
+    elapsed = time.perf_counter() - start
+
+    n_cells = len(results)
+    assert n_cells == len(specs) * 2 * 2 * 2
+    for _cell, stats in results:
+        assert stats["transmissions"].n == RUNS
+
+    emit(capsys, render_table(sweep_table(results, axes)))
+    emit(
+        capsys,
+        f"{n_cells} cells x {RUNS} runs in {elapsed:.2f}s "
+        f"({elapsed / n_cells * 1000:.0f} ms/cell)",
+    )
+    path = write_bench_artifact(
+        "scenario_sweep",
+        {
+            "scenarios": len(specs),
+            "cells": n_cells,
+            "runs_per_cell": RUNS,
+            "device_cap": DEVICE_CAP,
+            "total_seconds": elapsed,
+            "seconds_per_cell": elapsed / n_cells,
+        },
+    )
+    emit(capsys, f"artifact: {path}")

@@ -51,6 +51,14 @@ from repro.experiments import ExperimentConfig, run_fig6a, run_fig6b, run_fig7
 from repro.multicast import CampaignReport, FirmwareImage, OnDemandMulticastService
 from repro.phy import AirtimeModel, CoverageClass
 from repro.rrc import ProcedureTimings, RandomAccessModel
+from repro.scenarios import (
+    ScenarioSpec,
+    all_scenarios,
+    register_scenario,
+    run_scenario,
+    run_sweep,
+    scenario,
+)
 from repro.sim import (
     CampaignExecutor,
     CampaignResult,
@@ -130,6 +138,13 @@ __all__ = [
     "run_fig6a",
     "run_fig6b",
     "run_fig7",
+    # scenarios
+    "ScenarioSpec",
+    "scenario",
+    "all_scenarios",
+    "register_scenario",
+    "run_scenario",
+    "run_sweep",
     # errors
     "ReproError",
 ]

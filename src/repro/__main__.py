@@ -7,6 +7,11 @@ Examples::
     python -m repro figures --figure 6a --backend process --workers 4 --cache
     python -m repro figures --figure 7 --runs 3 --device-counts 1000,10000,100000
     python -m repro demo --mechanism da-sc --devices 100 --payload 100000
+    python -m repro scenarios list
+    python -m repro scenarios run --all --runs 2
+    python -m repro scenarios run --scenario contention-storm --backend process
+    python -m repro scenarios sweep --scenario dense-urban \
+        --axis devices=100,400 --axis collision=0,0.2 --axis loss=0,0.05
 """
 
 from __future__ import annotations
@@ -96,6 +101,79 @@ def _build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--devices", type=int, default=100)
     demo.add_argument("--payload", type=int, default=100_000)
     demo.add_argument("--seed", type=int, default=2018)
+
+    scenarios = sub.add_parser(
+        "scenarios", help="list / run / sweep registered scenarios"
+    )
+    actions = scenarios.add_subparsers(dest="action", required=True)
+
+    actions.add_parser("list", help="tabulate the registered scenarios")
+
+    def _selection_and_execution(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--scenario",
+            action="append",
+            dest="scenarios",
+            metavar="NAME",
+            help="scenario name (repeatable; see `scenarios list`)",
+        )
+        p.add_argument(
+            "--all", action="store_true", help="select every registered scenario"
+        )
+        p.add_argument("--runs", type=int, default=None, help="Monte-Carlo runs")
+        p.add_argument("--seed", type=int, default=None, help="root seed")
+        p.add_argument(
+            "--backend", choices=list(BACKENDS), default=None,
+            help="Monte-Carlo execution backend (default serial)",
+        )
+        p.add_argument(
+            "--workers", type=int, default=None,
+            help="process-pool size for --backend process",
+        )
+        p.add_argument(
+            "--row-path", action="store_true",
+            help="use the per-device reference executor instead of columnar",
+        )
+
+    run_p = actions.add_parser("run", help="run scenarios and print metrics")
+    _selection_and_execution(run_p)
+    run_p.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="also write the headline metrics as JSON to FILE",
+    )
+    run_p.add_argument(
+        "--check-golden", action="store_true",
+        help=(
+            "compare the selected scenarios against the committed golden "
+            "metrics (exit 1 on drift)"
+        ),
+    )
+    run_p.add_argument(
+        "--golden-diff", metavar="FILE", default=None,
+        help="write the golden comparison (diffs or empty list) as JSON",
+    )
+    run_p.add_argument(
+        "--update-golden", action="store_true",
+        help=(
+            "re-pin the committed golden metrics for the selected scenarios "
+            "(a partial selection merges into the existing pin file)"
+        ),
+    )
+
+    sweep_p = actions.add_parser(
+        "sweep", help="expand a scenario x axis grid and run every cell"
+    )
+    _selection_and_execution(sweep_p)
+    sweep_p.add_argument(
+        "--axis",
+        action="append",
+        dest="axes",
+        metavar="NAME=V1,V2,...",
+        help=(
+            "sweep axis (repeatable; devices/payload/ti/collision/loss). "
+            "Default: a 3-axis devices x collision x loss grid"
+        ),
+    )
     return parser
 
 
@@ -108,6 +186,160 @@ def _parse_counts(spec: str) -> tuple:
     if not counts:
         raise SystemExit("--device-counts must name at least one fleet size")
     return counts
+
+
+def _selected_scenarios(args) -> list:
+    """Resolve --scenario/--all into scenario specs (SystemExit if none)."""
+    from repro.scenarios import all_scenarios, scenario
+
+    if args.all:
+        return all_scenarios()
+    if args.scenarios:
+        return [scenario(name) for name in args.scenarios]
+    raise SystemExit(
+        "select scenarios with --scenario NAME (repeatable) or --all"
+    )
+
+
+def _scenarios_list() -> int:
+    from repro.experiments.reporting import Table, render_table
+    from repro.scenarios import all_scenarios
+    from repro.scenarios.runner import format_spec_row
+
+    table = Table(
+        title="Registered scenarios",
+        headers=(
+            "name", "devices", "mixture", "mechanism", "payload",
+            "collision", "loss", "description",
+        ),
+        rows=tuple(format_spec_row(spec) for spec in all_scenarios()),
+    )
+    print(render_table(table))
+    return 0
+
+
+def _scenarios_run(args) -> int:
+    import json
+
+    from repro.experiments.reporting import render_table
+    from repro.scenarios import (
+        GOLDEN_PATH,
+        compute_golden_metrics,
+        diff_golden,
+        headline_means,
+        load_golden,
+        run_scenario,
+        scenario_table,
+        write_golden,
+    )
+
+    specs = _selected_scenarios(args)
+    backend = args.backend or "serial"
+    columnar = not args.row_path
+    # Golden flows honour the --scenario selection: a partial
+    # --update-golden merges into the existing pin file, and a partial
+    # --check-golden compares only the selected scenarios.
+    names = None if args.all else [spec.name for spec in specs]
+
+    if args.update_golden:
+        # Re-pinning needs only the golden-configuration runs; skip the
+        # full-resolution table run entirely.
+        metrics = compute_golden_metrics(
+            names, backend=backend, workers=args.workers, columnar=columnar
+        )
+        if names is not None and GOLDEN_PATH.exists():
+            # load_golden still raises loudly on a settings mismatch, so
+            # a partial re-pin can never silently drop other pins.
+            metrics = {**load_golden(), **metrics}
+        pinned = write_golden(metrics)
+        print(
+            f"re-pinned golden metrics for {len(metrics)} scenarios -> {pinned}"
+        )
+        return 0
+
+    results = {
+        spec.name: run_scenario(
+            spec,
+            backend=backend,
+            workers=args.workers,
+            n_runs=args.runs,
+            seed=args.seed,
+            columnar=columnar,
+        )
+        for spec in specs
+    }
+    runs_label = str(args.runs) if args.runs else "per-spec"
+    print(render_table(scenario_table(results, runs_label)))
+
+    if args.metrics_out:
+        payload = {name: headline_means(stats) for name, stats in results.items()}
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2)
+        print(f"wrote headline metrics -> {args.metrics_out}")
+
+    if args.check_golden or args.golden_diff:
+        current = compute_golden_metrics(
+            names, backend=backend, workers=args.workers, columnar=columnar
+        )
+        pinned_metrics = load_golden()
+        if names is not None:
+            pinned_metrics = {
+                name: values
+                for name, values in pinned_metrics.items()
+                if name in set(names)
+            }
+        problems = diff_golden(current, pinned_metrics)
+        if args.golden_diff:
+            with open(args.golden_diff, "w", encoding="utf-8") as fh:
+                json.dump({"problems": problems, "current": current}, fh, indent=2)
+            print(f"wrote golden diff -> {args.golden_diff}")
+        if problems:
+            for problem in problems:
+                print(f"GOLDEN DRIFT: {problem}")
+            if args.check_golden:
+                return 1
+        else:
+            print("golden metrics unchanged")
+    return 0
+
+
+def _scenarios_sweep(args) -> int:
+    from repro.experiments.reporting import render_table
+    from repro.scenarios import (
+        DEFAULT_AXES,
+        SweepAxis,
+        parse_axis,
+        run_sweep,
+        sweep_table,
+    )
+
+    if args.all or args.scenarios:
+        specs = _selected_scenarios(args)
+    else:
+        from repro.scenarios import all_scenarios
+
+        specs = all_scenarios()  # default: sweep the whole registry
+    axes = (
+        [parse_axis(spec) for spec in args.axes]
+        if args.axes
+        else [SweepAxis(name, values) for name, values in DEFAULT_AXES]
+    )
+    sweeps_runs = any(axis.name == "runs" for axis in axes)
+    if args.runs is not None and sweeps_runs:
+        raise SystemExit("--runs conflicts with a runs=... sweep axis")
+    n_runs = args.runs
+    if n_runs is None and not sweeps_runs:
+        n_runs = 3  # keep the default whole-registry sweep seconds-scale
+    results = run_sweep(
+        specs,
+        axes,
+        backend=args.backend or "serial",
+        workers=args.workers,
+        n_runs=n_runs,
+        columnar=not args.row_path,
+    )
+    print(render_table(sweep_table(results, axes)))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -136,6 +368,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         tables, charts = run_with_charts(targets, config)
         print(render_all(tables, charts))
         return 0
+
+    if args.command == "scenarios":
+        if args.action == "list":
+            return _scenarios_list()
+        if args.action == "run":
+            return _scenarios_run(args)
+        return _scenarios_sweep(args)
 
     if args.command == "demo":
         rng = generator_for(args.seed)

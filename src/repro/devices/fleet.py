@@ -8,7 +8,7 @@ devices is a handful of NumPy operations rather than a Python loop.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -130,6 +130,14 @@ class Fleet:
     def coverages(self) -> List[CoverageClass]:
         """Coverage class of every device, in fleet order."""
         return [d.coverage for d in self._devices]
+
+    def coverage_histogram(self) -> Dict[CoverageClass, int]:
+        """Device count per coverage class (every class present as a key)."""
+        counts = np.bincount(self._coverage_codes, minlength=len(COVERAGE_ORDER))
+        return {
+            coverage: int(counts[code])
+            for code, coverage in enumerate(COVERAGE_ORDER)
+        }
 
     def group_rate_bps(self, indices: Sequence[int]) -> float:
         """Multicast bearer rate for the device group ``indices``.

@@ -69,14 +69,17 @@ def line_chart(
     ys = [p[1] for p in points]
     x_lo, x_hi = min(xs), max(xs)
     y_lo, y_hi = min(ys), max(ys)
-    if x_hi == x_lo or y_hi == y_lo:
-        y_hi = y_lo + 1.0 if y_hi == y_lo else y_hi
-        x_hi = x_lo + 1.0 if x_hi == x_lo else x_hi
+    # A constant series has zero span; dividing by it raised
+    # ZeroDivisionError (and `lo + 1.0 == lo` for large-magnitude values,
+    # so widening the bound is not a robust clamp). A unit span projects
+    # every point of a constant series onto the lo row/column.
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
 
     grid: List[List[str]] = [[" "] * width for _ in range(height)]
     for x, y in points:
-        col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
-        row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
         grid[height - 1 - row][col] = "*"
 
     y_hi_label = f"{y_hi:g}"

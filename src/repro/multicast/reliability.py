@@ -69,20 +69,26 @@ class RepairOutcome:
         devices_complete: devices holding the full image at the end.
         residual_missing: device/segment pairs still missing (0 unless
             ``max_rounds`` was hit).
+        base_segments: segments in a loss-free single pass (the image's
+            segment count) — the denominator of the overhead fraction.
     """
 
     rounds: int
     segments_sent: int
     devices_complete: int
     residual_missing: int
+    base_segments: int = 1
+
+    def __post_init__(self) -> None:
+        if self.base_segments < 1:
+            raise ConfigurationError(
+                f"base_segments must be >= 1, got {self.base_segments}"
+            )
 
     @property
     def airtime_overhead_fraction(self) -> float:
         """Extra segments sent relative to a loss-free single pass."""
-        return self.segments_sent / self._base_segments - 1.0
-
-    # populated via __post_init__-style trick below
-    _base_segments: int = 1
+        return self.segments_sent / self.base_segments - 1.0
 
 
 def simulate_repair_rounds(
@@ -113,14 +119,13 @@ def simulate_repair_rounds(
         # Union of NACKs drives the next round.
         to_send = missing.any(axis=0)
 
-    outcome = RepairOutcome(
+    return RepairOutcome(
         rounds=rounds,
         segments_sent=segments_sent,
         devices_complete=int((~missing.any(axis=1)).sum()),
         residual_missing=int(missing.sum()),
+        base_segments=n_segments,
     )
-    object.__setattr__(outcome, "_base_segments", n_segments)
-    return outcome
 
 
 def expected_rounds(

@@ -1,0 +1,79 @@
+"""Declarative scenario registry and stress-sweep subsystem.
+
+The paper's evaluation varies one axis at a time; this package makes
+whole deployment regimes first-class:
+
+* :class:`~repro.scenarios.spec.ScenarioSpec` — one frozen dataclass
+  naming fleet shape, coverage mix, RACH contention, loss/repair regime
+  and campaign shape;
+* a named registry of built-in scenarios spanning dense-urban,
+  deep-coverage-heavy, contention-storm, lossy-link-repair and
+  mixed-traffic regimes (:mod:`~repro.scenarios.registry`);
+* a sweep runner expanding scenario x axis grids through the parallel
+  Monte-Carlo backend and columnar executor
+  (:mod:`~repro.scenarios.sweep`);
+* a golden-metrics harness pinning every registered scenario's headline
+  metrics to committed JSON (:mod:`~repro.scenarios.golden`).
+
+CLI: ``python -m repro scenarios list|run|sweep``.
+"""
+
+from repro.scenarios.golden import (
+    GOLDEN_PATH,
+    compute_golden_metrics,
+    diff_golden,
+    golden_spec,
+    load_golden,
+    write_golden,
+)
+from repro.scenarios.registry import (
+    all_scenarios,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import (
+    HEADLINE_METRICS,
+    headline_means,
+    run_scenario,
+    scenario_run,
+    scenario_table,
+)
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.sweep import (
+    AXIS_FIELDS,
+    DEFAULT_AXES,
+    SweepAxis,
+    SweepCell,
+    expand_grid,
+    parse_axis,
+    run_sweep,
+    sweep_table,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "register_scenario",
+    "scenario",
+    "scenario_names",
+    "all_scenarios",
+    "scenario_run",
+    "run_scenario",
+    "headline_means",
+    "scenario_table",
+    "HEADLINE_METRICS",
+    "SweepAxis",
+    "SweepCell",
+    "AXIS_FIELDS",
+    "DEFAULT_AXES",
+    "parse_axis",
+    "expand_grid",
+    "run_sweep",
+    "sweep_table",
+    "golden_spec",
+    "compute_golden_metrics",
+    "load_golden",
+    "write_golden",
+    "diff_golden",
+    "GOLDEN_PATH",
+]

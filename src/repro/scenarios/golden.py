@@ -1,0 +1,145 @@
+"""Golden-metrics regression pinning for registered scenarios.
+
+Every registered scenario's headline metrics (mean wait, fleet
+energy/uptime, segments sent, transmission count) are pinned to a
+committed JSON file at a fixed, fast configuration (2 runs, capped
+fleet). The integration suite recomputes them and fails if any metric
+moves beyond tolerance, so a future PR cannot silently shift simulation
+results; an intentional change re-pins with ``python -m repro scenarios
+run --all --update-golden``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.scenarios.registry import all_scenarios, scenario
+from repro.scenarios.runner import headline_means, run_scenario
+from repro.scenarios.spec import ScenarioSpec
+
+#: Monte-Carlo runs per scenario when computing golden metrics. Two is
+#: enough to exercise the aggregation while keeping the whole registry
+#: a seconds-scale check.
+GOLDEN_RUNS = 2
+
+#: Fleet-size cap applied when computing golden metrics (the registered
+#: sizes are sweep-scale; regression pinning only needs determinism).
+GOLDEN_DEVICE_CAP = 120
+
+#: Relative tolerance for a metric to count as unmoved. The pipeline is
+#: seeded and deterministic, so anything beyond float-reduction noise
+#: is a real behavioural change.
+GOLDEN_REL_TOL = 1e-9
+
+#: The committed pin file.
+GOLDEN_PATH = Path(__file__).with_name("golden_metrics.json")
+
+
+def golden_spec(spec: ScenarioSpec) -> ScenarioSpec:
+    """The reduced configuration a scenario is pinned at."""
+    return spec.with_overrides(
+        n_runs=GOLDEN_RUNS,
+        n_devices=min(spec.n_devices, GOLDEN_DEVICE_CAP),
+    )
+
+
+def compute_golden_metrics(
+    names: Optional[Sequence[str]] = None,
+    *,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    columnar: bool = True,
+) -> Dict[str, Dict[str, float]]:
+    """Recompute the pinned headline metrics for ``names`` (default all)."""
+    specs = (
+        all_scenarios()
+        if names is None
+        else [scenario(name) for name in names]
+    )
+    out: Dict[str, Dict[str, float]] = {}
+    for spec in specs:
+        stats = run_scenario(
+            golden_spec(spec),
+            backend=backend,
+            workers=workers,
+            columnar=columnar,
+        )
+        out[spec.name] = headline_means(stats)
+    return out
+
+
+def load_golden(path: Optional[Path] = None) -> Dict[str, Dict[str, float]]:
+    """The committed golden metrics, keyed by scenario name."""
+    path = GOLDEN_PATH if path is None else Path(path)
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise ConfigurationError(
+            f"no golden metrics at {path}; pin them with "
+            "`python -m repro scenarios run --all --update-golden`"
+        ) from None
+    if payload.get("runs") != GOLDEN_RUNS or payload.get(
+        "device_cap"
+    ) != GOLDEN_DEVICE_CAP:
+        raise ConfigurationError(
+            f"golden file {path} was pinned under different settings "
+            f"(runs={payload.get('runs')}, device_cap="
+            f"{payload.get('device_cap')}); re-pin it"
+        )
+    return payload["scenarios"]
+
+
+def write_golden(
+    metrics: Dict[str, Dict[str, float]], path: Optional[Path] = None
+) -> Path:
+    """Persist ``metrics`` as the new pin file."""
+    path = GOLDEN_PATH if path is None else Path(path)
+    payload = {
+        "runs": GOLDEN_RUNS,
+        "device_cap": GOLDEN_DEVICE_CAP,
+        "scenarios": {
+            name: dict(sorted(values.items()))
+            for name, values in sorted(metrics.items())
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def diff_golden(
+    current: Dict[str, Dict[str, float]],
+    pinned: Dict[str, Dict[str, float]],
+    rel_tol: float = GOLDEN_REL_TOL,
+) -> List[str]:
+    """Human-readable discrepancies between ``current`` and ``pinned``.
+
+    Empty list = regression-free. Missing scenarios/metrics on either
+    side are discrepancies too (a silently dropped scenario is as much a
+    regression as a shifted metric).
+    """
+    problems: List[str] = []
+    for name in sorted(set(pinned) - set(current)):
+        problems.append(f"{name}: pinned scenario missing from current run")
+    for name in sorted(set(current) - set(pinned)):
+        problems.append(f"{name}: scenario not pinned (re-pin golden metrics)")
+    for name in sorted(set(current) & set(pinned)):
+        want, got = pinned[name], current[name]
+        for metric in sorted(set(want) | set(got)):
+            if metric not in got:
+                problems.append(f"{name}.{metric}: missing from current run")
+                continue
+            if metric not in want:
+                problems.append(f"{name}.{metric}: not pinned")
+                continue
+            if not math.isclose(
+                got[metric], want[metric], rel_tol=rel_tol, abs_tol=rel_tol
+            ):
+                problems.append(
+                    f"{name}.{metric}: pinned {want[metric]!r} but got "
+                    f"{got[metric]!r}"
+                )
+    return problems

@@ -1,0 +1,174 @@
+"""The named scenario registry.
+
+Built-in scenarios span the regimes the related work says matter beyond
+the paper's one-axis-at-a-time evaluation: user-density extremes
+(dense-urban vs sparse metering, cf. Shahini & Ansari's clustering
+density regimes), grouped random-access collision storms under massive
+arrivals (cf. Han & Schotten), deep-coverage-heavy cells, lossy links
+with NACK-driven repair, and mixed-traffic fleets. Each is a plain
+:class:`~repro.scenarios.spec.ScenarioSpec`; external code can register
+more with :func:`register_scenario`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.scenarios.spec import ScenarioSpec
+from repro.timebase import KILOBYTE, MEGABYTE
+from repro.traffic.generator import CoverageMix
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec, *, replace: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the registry (``replace=True`` to overwrite)."""
+    if not replace and spec.name in _REGISTRY:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} is already registered"
+        )
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> Tuple[str, ...]:
+    """Registered names, in registration order."""
+    return tuple(_REGISTRY)
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """Every registered scenario, in registration order."""
+    return list(_REGISTRY.values())
+
+
+# ----------------------------------------------------------------------
+# Built-ins. Sizes are chosen so `scenarios run --all --runs 2` stays a
+# seconds-scale smoke while still exercising every regime; sweeps scale
+# any of them up through the columnar executor.
+# ----------------------------------------------------------------------
+
+#: The paper's own regime: single cell, everyone in normal coverage,
+#: contention-free RACH, lossless links.
+PAPER_BASELINE = register_scenario(ScenarioSpec(
+    name="paper-baseline",
+    description="Sec. IV-A regime: normal coverage, no contention, lossless",
+    n_devices=500,
+    mixture="paper-default",
+    mechanism="dr-sc",
+    payload_bytes=MEGABYTE,
+))
+
+#: Dense city macrocell: big fleet, urban coverage split, mild RACH
+#: contention from the sheer arrival rate.
+DENSE_URBAN = register_scenario(ScenarioSpec(
+    name="dense-urban",
+    description="large urban fleet, 80/15/5 coverage split, mild contention",
+    n_devices=1000,
+    mixture="paper-default",
+    coverage=CoverageMix(normal=0.80, robust=0.15, extreme=0.05),
+    mechanism="dr-sc",
+    payload_bytes=MEGABYTE,
+    ra_collision_probability=0.05,
+    segment_loss_probability=0.01,
+))
+
+#: Basement meters and rural cells: most of the fleet needs coverage
+#: extension, so repetitions stretch every procedure and drag the
+#: multicast bearer rate down to the worst member.
+DEEP_COVERAGE_HEAVY = register_scenario(ScenarioSpec(
+    name="deep-coverage-heavy",
+    description="CE-heavy cell (30/45/25), slow bearers, lossier links",
+    n_devices=300,
+    mixture="moderate-edrx",
+    coverage=CoverageMix(normal=0.30, robust=0.45, extreme=0.25),
+    mechanism="da-sc",
+    payload_bytes=100 * KILOBYTE,
+    segment_loss_probability=0.03,
+))
+
+#: Massive synchronised arrivals: the grouped-random-access collision
+#: regime of Han & Schotten — every paged device races for preambles.
+CONTENTION_STORM = register_scenario(ScenarioSpec(
+    name="contention-storm",
+    description="RACH collision storm (p=0.35) on a responsive fleet",
+    n_devices=400,
+    mixture="short-edrx",
+    mechanism="dr-sc",
+    payload_bytes=100 * KILOBYTE,
+    ra_collision_probability=0.35,
+    ra_backoff_s=0.5,
+    ra_max_attempts=20,
+))
+
+#: Cell-edge firmware rollout: heavy per-segment loss makes the
+#: NACK-driven repair rounds the dominant airtime term.
+LOSSY_LINK_REPAIR = register_scenario(ScenarioSpec(
+    name="lossy-link-repair",
+    description="15% segment loss, repair rounds dominate airtime",
+    n_devices=200,
+    mixture="paper-default",
+    coverage=CoverageMix(normal=0.60, robust=0.25, extreme=0.15),
+    mechanism="dr-si",
+    payload_bytes=MEGABYTE,
+    segment_loss_probability=0.15,
+    max_repair_rounds=20,
+))
+
+#: Mixed traffic under simultaneous mild stress on every axis — the
+#: "compose the axes" scenario the single-axis paper evaluation misses.
+MIXED_TRAFFIC_STRESS = register_scenario(ScenarioSpec(
+    name="mixed-traffic-stress",
+    description="all axes mildly stressed at once (contention+loss+CE)",
+    n_devices=500,
+    mixture="paper-default",
+    coverage=CoverageMix(normal=0.70, robust=0.20, extreme=0.10),
+    mechanism="da-sc",
+    payload_bytes=MEGABYTE,
+    ra_collision_probability=0.10,
+    segment_loss_probability=0.05,
+))
+
+#: Nationwide metering tier: everything asleep at the top of the eDRX
+#: ladder, long TI, rare but large firmware images.
+METERING_LONGSLEEP = register_scenario(ScenarioSpec(
+    name="metering-longsleep",
+    description="long-eDRX metering fleet, 10 MB image, long TI",
+    n_devices=300,
+    mixture="long-edrx",
+    mechanism="dr-sc",
+    payload_bytes=10 * MEGABYTE,
+    inactivity_timer_s=40.96,
+))
+
+#: Logistics tracker swarm: short cycles, small frequent updates, the
+#: regime where grouping wins least (windows hold few devices).
+TRACKER_SWARM = register_scenario(ScenarioSpec(
+    name="tracker-swarm",
+    description="short-eDRX tracker swarm, small payload, short TI",
+    n_devices=600,
+    mixture="short-edrx",
+    mechanism="da-sc",
+    payload_bytes=100 * KILOBYTE,
+    inactivity_timer_s=10.24,
+))
+
+#: The degenerate reference point every sweep can be normalised to.
+UNICAST_REFERENCE = register_scenario(ScenarioSpec(
+    name="unicast-reference",
+    description="per-device unicast baseline on the paper fleet",
+    n_devices=200,
+    mixture="paper-default",
+    mechanism="unicast",
+    payload_bytes=MEGABYTE,
+))

@@ -1,0 +1,186 @@
+"""The declarative scenario specification.
+
+A :class:`ScenarioSpec` names everything one simulated deployment
+regime needs — fleet shape (size, traffic mixture, coverage-class mix),
+radio stress (random-access collision probability, segment-loss/repair
+regime) and campaign shape (mechanism, payload, inactivity timer,
+Monte-Carlo runs and seed) — as one frozen, picklable dataclass. Specs
+cross process-pool boundaries intact, fingerprint stably for the result
+cache, and derive variants with :meth:`ScenarioSpec.with_overrides`
+(the sweep runner's expansion primitive).
+
+Traffic mixtures are referenced *by name* (resolved through
+:func:`repro.traffic.mixture_by_name`): a string survives pickling and
+keeps the spec's fingerprint independent of mixture object identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Optional
+
+from repro.core.base import PlanningContext
+from repro.core.registry import MECHANISMS
+from repro.devices.battery import Battery
+from repro.enb.cell import CellConfig
+from repro.errors import ConfigurationError
+from repro.multicast.payload import DEFAULT_SEGMENT_BYTES, FirmwareImage
+from repro.multicast.reliability import ReliabilityConfig
+from repro.rrc.procedures import ProcedureTimings
+from repro.rrc.random_access import RandomAccessModel
+from repro.sim.parallel import fingerprint
+from repro.timebase import seconds_to_frames
+from repro.traffic.generator import CoverageMix
+from repro.traffic.mixtures import TrafficMixture, mixture_by_name
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named deployment/stress regime, declaratively.
+
+    Attributes:
+        name: registry key (kebab-case).
+        description: one-line human summary shown by ``scenarios list``.
+        n_devices: fleet size sampled per run.
+        mixture: traffic-mixture name (see :data:`repro.traffic.MIXTURES`).
+        coverage: coverage-class shares of the fleet.
+        mechanism: grouping mechanism name (``dr-sc``/``da-sc``/``dr-si``/
+            ``unicast``).
+        payload_bytes: firmware image size delivered per campaign.
+        inactivity_timer_s: the TI window length.
+        ra_collision_probability: per-attempt RACH collision probability
+            (0 = the paper's contention-free evaluation).
+        ra_backoff_s: mean exponential backoff between RACH retries.
+        ra_max_attempts: RACH give-up bound.
+        segment_loss_probability: per-device per-segment loss rate for
+            the NACK-driven repair model (0 = lossless).
+        max_repair_rounds: repair-round give-up bound.
+        segment_bytes: link-layer segment size.
+        n_runs: Monte-Carlo repetitions.
+        seed: root seed (children spawned per run).
+        battery_mah: battery capacity behind the energy-drain metric.
+    """
+
+    name: str
+    description: str = ""
+    n_devices: int = 200
+    mixture: str = "paper-default"
+    coverage: CoverageMix = CoverageMix()
+    mechanism: str = "dr-sc"
+    payload_bytes: int = 1_000_000
+    inactivity_timer_s: float = 20.48
+    ra_collision_probability: float = 0.0
+    ra_backoff_s: float = 0.25
+    ra_max_attempts: int = 10
+    segment_loss_probability: float = 0.0
+    max_repair_rounds: int = 10
+    segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    n_runs: int = 20
+    seed: int = 2018
+    battery_mah: float = 5000.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("a scenario needs a non-empty name")
+        if self.n_devices < 1:
+            raise ConfigurationError(
+                f"n_devices must be >= 1, got {self.n_devices}"
+            )
+        if self.mechanism not in MECHANISMS:
+            raise ConfigurationError(
+                f"unknown mechanism {self.mechanism!r}; "
+                f"available: {sorted(MECHANISMS)}"
+            )
+        mixture_by_name(self.mixture)  # raises on unknown names
+        if self.payload_bytes < 1:
+            raise ConfigurationError(
+                f"payload must be >= 1 byte, got {self.payload_bytes}"
+            )
+        if self.inactivity_timer_s <= 0:
+            raise ConfigurationError(
+                f"TI must be positive, got {self.inactivity_timer_s}"
+            )
+        if self.n_runs < 1:
+            raise ConfigurationError(f"n_runs must be >= 1, got {self.n_runs}")
+        # The RA / reliability sub-models re-validate their own ranges.
+        self.timings()
+        self.reliability()
+        Battery(capacity_mah=self.battery_mah)
+
+    # ------------------------------------------------------------------
+    # Derived model objects
+    # ------------------------------------------------------------------
+    def mixture_obj(self) -> TrafficMixture:
+        """The resolved traffic mixture."""
+        return mixture_by_name(self.mixture)
+
+    def timings(self) -> ProcedureTimings:
+        """Control-plane timings with this scenario's RACH stress."""
+        return ProcedureTimings(
+            random_access=RandomAccessModel(
+                collision_probability=self.ra_collision_probability,
+                backoff_s=self.ra_backoff_s,
+                max_attempts=self.ra_max_attempts,
+            )
+        )
+
+    def reliability(self) -> ReliabilityConfig:
+        """The segment-loss/repair regime."""
+        return ReliabilityConfig(
+            segment_bytes=self.segment_bytes,
+            segment_loss_probability=self.segment_loss_probability,
+            max_rounds=self.max_repair_rounds,
+        )
+
+    def battery(self) -> Battery:
+        """The battery behind the energy-drain metric."""
+        return Battery(capacity_mah=self.battery_mah)
+
+    def image(self) -> FirmwareImage:
+        """The firmware image a campaign delivers."""
+        return FirmwareImage(
+            name=f"{self.name}-fw", version="1.0.0", size_bytes=self.payload_bytes
+        )
+
+    def cell(self) -> CellConfig:
+        """Cell configuration with this scenario's inactivity timer."""
+        return CellConfig(
+            inactivity_timer_frames=seconds_to_frames(self.inactivity_timer_s)
+        )
+
+    def planning_context(self) -> PlanningContext:
+        """The planning context campaigns run under."""
+        return PlanningContext(
+            payload_bytes=self.payload_bytes,
+            cell=self.cell(),
+            timings=self.timings(),
+        )
+
+    # ------------------------------------------------------------------
+    # Derivation / identity
+    # ------------------------------------------------------------------
+    def with_overrides(self, **overrides: Any) -> "ScenarioSpec":
+        """A validated copy with ``overrides`` applied (sweep primitive)."""
+        unknown = set(overrides) - set(self.__dataclass_fields__)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown scenario fields {sorted(unknown)}; "
+                f"available: {sorted(self.__dataclass_fields__)}"
+            )
+        return replace(self, **overrides)
+
+    def fingerprint(self) -> str:
+        """Stable hash of every scenario parameter (cache key input)."""
+        return fingerprint(self)
+
+    def summary_fields(self) -> Dict[str, Any]:
+        """The fields ``scenarios list`` tabulates."""
+        return {
+            "devices": self.n_devices,
+            "mixture": self.mixture,
+            "mechanism": self.mechanism,
+            "payload": self.payload_bytes,
+            "collision": self.ra_collision_probability,
+            "loss": self.segment_loss_probability,
+            "runs": self.n_runs,
+        }

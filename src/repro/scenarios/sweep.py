@@ -1,0 +1,200 @@
+"""Scenario x axis grid sweeps.
+
+A sweep takes registered scenarios and a list of axes (named spec
+fields with value lists), expands the full cartesian grid of spec
+variants with :meth:`~repro.scenarios.spec.ScenarioSpec.with_overrides`,
+and runs every cell through the Monte-Carlo harness — each cell's runs
+fan out across the process pool when ``backend="process"``, and every
+campaign executes on the columnar fast path. This is the "as many
+scenarios as you can imagine" layer: the paper varies one axis at a
+time; a sweep composes them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments.reporting import Table
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.montecarlo import RunStatistics
+from repro.sim.parallel import ResultCache
+from repro.timebase import format_bytes
+
+#: CLI axis aliases -> ScenarioSpec field names. Only numeric stress
+#: axes are sweepable; identity fields (name, mechanism, mixture) make
+#: a *different scenario*, not a point on an axis.
+AXIS_FIELDS: Dict[str, str] = {
+    "devices": "n_devices",
+    "payload": "payload_bytes",
+    "ti": "inactivity_timer_s",
+    "collision": "ra_collision_probability",
+    "loss": "segment_loss_probability",
+    "runs": "n_runs",
+    "seed": "seed",
+}
+
+#: The default ≥3-axis stress grid (kept tiny: the grid multiplies).
+DEFAULT_AXES: Tuple[Tuple[str, Tuple[float, ...]], ...] = (
+    ("devices", (100, 400)),
+    ("collision", (0.0, 0.2)),
+    ("loss", (0.0, 0.05)),
+)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One sweep dimension: a spec field and the values it takes."""
+
+    name: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in AXIS_FIELDS:
+            raise ConfigurationError(
+                f"unknown sweep axis {self.name!r}; "
+                f"available: {sorted(AXIS_FIELDS)}"
+            )
+        if not self.values:
+            raise ConfigurationError(f"axis {self.name!r} needs values")
+
+    @property
+    def field(self) -> str:
+        """The :class:`ScenarioSpec` field this axis overrides."""
+        return AXIS_FIELDS[self.name]
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: the derived spec plus its axis coordinates."""
+
+    base_name: str
+    coordinates: Tuple[Tuple[str, Any], ...]
+    spec: ScenarioSpec
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell id (``name[axis=value,...]``)."""
+        coords = ",".join(f"{axis}={value:g}" for axis, value in self.coordinates)
+        return f"{self.base_name}[{coords}]"
+
+
+def parse_axis(spec: str) -> SweepAxis:
+    """Parse a CLI ``--axis name=v1,v2,...`` argument."""
+    name, sep, values_part = spec.partition("=")
+    if not sep or not values_part:
+        raise ConfigurationError(
+            f"axis must look like name=v1,v2,... got {spec!r}"
+        )
+    name = name.strip()
+    field = AXIS_FIELDS.get(name)
+    values: List[Any] = []
+    for part in values_part.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        number = float(part)
+        if field in ("n_devices", "payload_bytes", "n_runs", "seed"):
+            number = int(number)
+        values.append(number)
+    return SweepAxis(name=name, values=tuple(values))
+
+
+def expand_grid(
+    scenarios: Sequence[ScenarioSpec], axes: Sequence[SweepAxis]
+) -> List[SweepCell]:
+    """The full scenario x axis cartesian grid, as derived specs."""
+    if not scenarios:
+        raise ConfigurationError("a sweep needs at least one scenario")
+    if not axes:
+        raise ConfigurationError("a sweep needs at least one axis")
+    seen = set()
+    for axis in axes:
+        if axis.name in seen:
+            raise ConfigurationError(f"duplicate sweep axis {axis.name!r}")
+        seen.add(axis.name)
+    cells: List[SweepCell] = []
+    for spec in scenarios:
+        for combo in itertools.product(*(axis.values for axis in axes)):
+            overrides = {
+                axis.field: value for axis, value in zip(axes, combo)
+            }
+            coordinates = tuple(
+                (axis.name, value) for axis, value in zip(axes, combo)
+            )
+            cells.append(
+                SweepCell(
+                    base_name=spec.name,
+                    coordinates=coordinates,
+                    spec=spec.with_overrides(**overrides),
+                )
+            )
+    return cells
+
+
+def run_sweep(
+    scenarios: Sequence[ScenarioSpec],
+    axes: Sequence[SweepAxis],
+    *,
+    backend: str = "serial",
+    workers: Optional[int] = None,
+    n_runs: Optional[int] = None,
+    columnar: bool = True,
+    cache: Optional[ResultCache] = None,
+) -> "List[Tuple[SweepCell, Dict[str, RunStatistics]]]":
+    """Execute every grid cell and return (cell, aggregated stats) pairs."""
+    results = []
+    for cell in expand_grid(scenarios, axes):
+        stats = run_scenario(
+            cell.spec,
+            backend=backend,
+            workers=workers,
+            n_runs=n_runs,
+            columnar=columnar,
+            cache=cache,
+        )
+        results.append((cell, stats))
+    return results
+
+
+def sweep_table(
+    results: "Sequence[Tuple[SweepCell, Dict[str, RunStatistics]]]",
+    axes: Sequence[SweepAxis],
+) -> Table:
+    """Tabulate a sweep: one row per grid cell."""
+    axis_names = tuple(axis.name for axis in axes)
+    rows = []
+    for cell, stats in results:
+        coords = dict(cell.coordinates)
+        axis_cells = tuple(
+            format_bytes(int(coords[name]))
+            if name == "payload"
+            else f"{coords[name]:g}"
+            for name in axis_names
+        )
+        rows.append(
+            (cell.base_name,)
+            + axis_cells
+            + (
+                f"{stats['transmissions'].mean:.1f}",
+                f"{stats['mean_wait_s'].mean:.2f}s",
+                f"{stats['energy_mj'].mean / 1000:.1f}J",
+                f"{stats['segments_sent'].mean:.0f}",
+            )
+        )
+    return Table(
+        title=f"Scenario sweep over {' x '.join(axis_names)}",
+        headers=("scenario",)
+        + axis_names
+        + ("transmissions", "mean wait", "fleet energy", "segments sent"),
+        rows=tuple(rows),
+        notes=(
+            "every cell runs through the parallel Monte-Carlo backend "
+            "and the columnar executor; grid size = scenarios x "
+            + " x ".join(str(len(axis.values)) for axis in axes)
+            + ".",
+        ),
+    )

@@ -67,16 +67,27 @@ def frames_to_seconds(frames: int) -> float:
 def ms_to_frames(ms: float, *, strict: bool = False) -> int:
     """Convert milliseconds to frames.
 
-    With ``strict=True`` the duration must be an exact multiple of 10 ms;
-    otherwise it is rounded up (ceiling), which is the conservative choice
-    when budgeting airtime.
+    The duration is first quantised to the nearest integer millisecond
+    (the 1 ms subframe is the radio timeline's physical granularity),
+    then rounded up to whole frames with exact integer ceiling division
+    (:func:`frame_at_or_after_ms`) — the conservative choice when
+    budgeting airtime. Rounding half-to-even at the millisecond level
+    absorbs float noise of up to half a subframe regardless of the
+    horizon, unlike the fixed float epsilon this replaces, which double
+    precision outgrows beyond ~10^7 frames.
+
+    With ``strict=True`` the duration must be an exact multiple of 10 ms
+    (within sub-subframe float noise).
     """
     if ms < 0:
         raise TimebaseError(f"duration must be non-negative, got {ms} ms")
-    frames = ms / MS_PER_FRAME
-    if strict and not math.isclose(frames, round(frames), abs_tol=1e-9):
+    exact_ms = round(ms)
+    if strict and (
+        exact_ms % MS_PER_FRAME != 0
+        or not math.isclose(ms, exact_ms, rel_tol=1e-9, abs_tol=1e-6)
+    ):
         raise TimebaseError(f"{ms} ms is not a whole number of {MS_PER_FRAME} ms frames")
-    return int(math.ceil(frames - 1e-9))
+    return frame_at_or_after_ms(exact_ms)
 
 
 def seconds_to_frames(seconds: float, *, strict: bool = False) -> int:

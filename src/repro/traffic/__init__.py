@@ -14,21 +14,27 @@ falling to ~40 % at N=1000); the ablation mixtures show sensitivity.
 
 from repro.traffic.mixtures import (
     LONG_EDRX_MIXTURE,
+    MIXTURES,
     MODERATE_EDRX_MIXTURE,
     PAPER_DEFAULT_MIXTURE,
     SHORT_EDRX_MIXTURE,
     CategoryProfile,
     TrafficMixture,
+    mixture_by_name,
 )
 from repro.traffic.generator import CoverageMix, generate_fleet
+from repro.traffic.validation import validate_unit_sum
 
 __all__ = [
     "CategoryProfile",
     "TrafficMixture",
+    "MIXTURES",
+    "mixture_by_name",
     "PAPER_DEFAULT_MIXTURE",
     "SHORT_EDRX_MIXTURE",
     "MODERATE_EDRX_MIXTURE",
     "LONG_EDRX_MIXTURE",
     "CoverageMix",
     "generate_fleet",
+    "validate_unit_sum",
 ]

@@ -19,6 +19,7 @@ from repro.drx.paging import NB
 from repro.errors import ConfigurationError
 from repro.phy.coverage import CoverageClass
 from repro.traffic.mixtures import TrafficMixture
+from repro.traffic.validation import validate_unit_sum
 
 #: IMSIs are drawn from this many distinct values (a national operator range).
 _IMSI_BASE = 234_150_000_000_000
@@ -34,11 +35,9 @@ class CoverageMix:
     extreme: float = 0.0
 
     def __post_init__(self) -> None:
-        total = self.normal + self.robust + self.extreme
-        if abs(total - 1.0) > 1e-9:
-            raise ConfigurationError(f"coverage shares must sum to 1, got {total}")
-        if min(self.normal, self.robust, self.extreme) < 0:
-            raise ConfigurationError("coverage shares must be non-negative")
+        validate_unit_sum(
+            (self.normal, self.robust, self.extreme), what="coverage shares"
+        )
 
     def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
         """Draw ``n`` coverage classes."""

@@ -10,7 +10,6 @@ cycles.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
@@ -19,6 +18,7 @@ import numpy as np
 from repro.devices.profiles import DeviceCategory
 from repro.drx.cycles import DrxCycle
 from repro.errors import ConfigurationError
+from repro.traffic.validation import validate_unit_sum
 
 
 @dataclass(frozen=True)
@@ -40,13 +40,9 @@ class CategoryProfile:
             raise ConfigurationError(f"weight must be positive, got {self.weight}")
         if not self.cycle_distribution:
             raise ConfigurationError("cycle distribution must not be empty")
-        total = sum(self.cycle_distribution.values())
-        if not math.isclose(total, 1.0, rel_tol=1e-9, abs_tol=1e-9):
-            raise ConfigurationError(
-                f"cycle distribution must sum to 1, got {total}"
-            )
-        if any(p < 0 for p in self.cycle_distribution.values()):
-            raise ConfigurationError("cycle probabilities must be non-negative")
+        validate_unit_sum(
+            self.cycle_distribution.values(), what="cycle distribution"
+        )
 
 
 class TrafficMixture:
@@ -210,3 +206,26 @@ LONG_EDRX_MIXTURE = TrafficMixture(
         ),
     },
 )
+
+#: Every built-in mixture, keyed by its name. Scenario specs reference
+#: mixtures by name (a string survives pickling to process-pool workers
+#: and fingerprints stably), resolved through :func:`mixture_by_name`.
+MIXTURES: Dict[str, TrafficMixture] = {
+    mixture.name: mixture
+    for mixture in (
+        PAPER_DEFAULT_MIXTURE,
+        SHORT_EDRX_MIXTURE,
+        MODERATE_EDRX_MIXTURE,
+        LONG_EDRX_MIXTURE,
+    )
+}
+
+
+def mixture_by_name(name: str) -> TrafficMixture:
+    """Look up a built-in mixture by its registry name."""
+    try:
+        return MIXTURES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown mixture {name!r}; available: {sorted(MIXTURES)}"
+        ) from None

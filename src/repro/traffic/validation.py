@@ -1,0 +1,42 @@
+"""Shared validation for probability/share distributions.
+
+Both the coverage mix (:class:`repro.traffic.generator.CoverageMix`) and
+the per-category cycle distributions
+(:class:`repro.traffic.mixtures.CategoryProfile`) require their weights
+to sum to 1. They used to check this with *different* tolerances (a raw
+``abs(total - 1.0) > 1e-9`` vs ``math.isclose`` with a relative
+tolerance), so a distribution accepted by one layer could be rejected by
+the other. This module is the single arbiter both layers call.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from repro.errors import ConfigurationError
+
+#: Tolerance for a weight sum to count as 1. Relative and absolute
+#: bounds coincide at totals near 1, so the check degrades gracefully
+#: for sums built from many small float shares.
+UNIT_SUM_REL_TOL = 1e-9
+UNIT_SUM_ABS_TOL = 1e-9
+
+
+def validate_unit_sum(weights: Iterable[float], *, what: str) -> float:
+    """Validate that ``weights`` are non-negative and sum to 1.
+
+    Returns the (float) total so callers can reuse it. Raises
+    :class:`~repro.errors.ConfigurationError` naming ``what`` otherwise.
+    """
+    values = [float(w) for w in weights]
+    if not values:
+        raise ConfigurationError(f"{what} must not be empty")
+    if any(w < 0 for w in values):
+        raise ConfigurationError(f"{what} must be non-negative, got {values}")
+    total = sum(values)
+    if not math.isclose(
+        total, 1.0, rel_tol=UNIT_SUM_REL_TOL, abs_tol=UNIT_SUM_ABS_TOL
+    ):
+        raise ConfigurationError(f"{what} must sum to 1, got {total}")
+    return total

@@ -1,0 +1,123 @@
+"""Golden-metrics regression and execution-path equivalence.
+
+Every registered scenario is pinned: its headline metrics at the golden
+configuration must match the committed JSON bit-for-bit (within float
+tolerance), the process-pool backend must agree with serial exactly,
+and the columnar executor must agree with the per-device reference
+path within 1e-9. A PR that shifts any of these either fixes a bug (and
+re-pins with ``python -m repro scenarios run --all --update-golden``)
+or is a regression.
+"""
+
+import math
+
+import pytest
+
+from repro.scenarios import (
+    all_scenarios,
+    diff_golden,
+    golden_spec,
+    headline_means,
+    load_golden,
+    run_scenario,
+    scenario_names,
+)
+
+ALL_NAMES = scenario_names()
+
+
+@pytest.fixture(scope="module")
+def golden_serial_columnar():
+    """One serial columnar golden run per scenario (shared across tests)."""
+    return {
+        spec.name: run_scenario(golden_spec(spec))
+        for spec in all_scenarios()
+    }
+
+
+class TestGoldenRegression:
+    def test_registry_covers_the_pin_file(self, golden_serial_columnar):
+        pinned = load_golden()
+        assert set(pinned) == set(golden_serial_columnar)
+
+    def test_headline_metrics_match_committed_golden(
+        self, golden_serial_columnar
+    ):
+        current = {
+            name: headline_means(stats)
+            for name, stats in golden_serial_columnar.items()
+        }
+        problems = diff_golden(current, load_golden())
+        assert problems == [], "\n".join(problems)
+
+
+class TestExecutionPathEquivalence:
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_process_backend_bit_identical(self, name, golden_serial_columnar):
+        from repro.scenarios import scenario
+
+        spec = golden_spec(scenario(name))
+        process = run_scenario(spec, backend="process", workers=2)
+        serial = golden_serial_columnar[name]
+        assert set(process) == set(serial)
+        for metric, stats in serial.items():
+            assert (
+                stats.values.tolist() == process[metric].values.tolist()
+            ), f"{name}.{metric} differs between serial and process backends"
+
+    @pytest.mark.parametrize("name", ALL_NAMES)
+    def test_row_path_agrees_within_tolerance(
+        self, name, golden_serial_columnar
+    ):
+        from repro.scenarios import scenario
+
+        spec = golden_spec(scenario(name))
+        row = run_scenario(spec, columnar=False)
+        columnar = golden_serial_columnar[name]
+        assert set(row) == set(columnar)
+        for metric, stats in columnar.items():
+            for got, want in zip(row[metric].values, stats.values):
+                assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9), (
+                    f"{name}.{metric}: columnar {want} vs row {got}"
+                )
+
+
+class TestSweepThroughParallelColumnarPath:
+    def test_three_axis_grid_over_whole_registry_expands(self):
+        from repro.scenarios import DEFAULT_AXES, SweepAxis, expand_grid
+
+        axes = [SweepAxis(name, values) for name, values in DEFAULT_AXES]
+        cells = expand_grid(all_scenarios(), axes)
+        assert len(cells) == len(ALL_NAMES) * 2 * 2 * 2
+        # Every cell derives a validated spec carrying its coordinates.
+        for cell in cells:
+            coords = dict(cell.coordinates)
+            assert cell.spec.n_devices == coords["devices"]
+            assert cell.spec.ra_collision_probability == coords["collision"]
+            assert cell.spec.segment_loss_probability == coords["loss"]
+
+    def test_sweep_cells_run_through_process_backend(self):
+        from repro.scenarios import SweepAxis, run_sweep, scenario
+
+        results = run_sweep(
+            [golden_spec(scenario("contention-storm"))],
+            [
+                SweepAxis("devices", (30, 60)),
+                SweepAxis("collision", (0.0, 0.3)),
+                SweepAxis("loss", (0.0,)),
+            ],
+            backend="process",
+            workers=2,
+            n_runs=2,
+        )
+        assert len(results) == 4
+        for cell, stats in results:
+            assert stats["transmissions"].n == 2
+            assert stats["delivered_fraction"].mean == pytest.approx(1.0)
+        # More contention cannot shorten the mean wait at equal size.
+        by_coords = {cell.coordinates: stats for cell, stats in results}
+        calm = by_coords[(("devices", 30), ("collision", 0.0), ("loss", 0.0))]
+        stormy = by_coords[(("devices", 30), ("collision", 0.3), ("loss", 0.0))]
+        assert (
+            stormy["mean_wait_s"].mean >= calm["mean_wait_s"].mean - 1e-9
+        )

@@ -114,6 +114,27 @@ class TestReliability:
         assert outcome.airtime_overhead_fraction < outcome.rounds
         assert outcome.airtime_overhead_fraction < 3.0
 
+    def test_base_segments_survives_replace_and_pickle(self, rng):
+        # base_segments used to be smuggled past the frozen dataclass
+        # with object.__setattr__, so dataclasses.replace and pickling
+        # (round-tripped by the process-pool backend) silently reset it.
+        import dataclasses
+        import pickle
+
+        image = FirmwareImage(name="fw", version="1", size_bytes=10_000)
+        config = ReliabilityConfig(segment_loss_probability=0.05)
+        outcome = simulate_repair_rounds(image, 20, config, rng)
+        assert outcome.base_segments == image.segment_count(config.segment_bytes)
+
+        replaced = dataclasses.replace(outcome, rounds=outcome.rounds + 1)
+        assert replaced.base_segments == outcome.base_segments
+
+        unpickled = pickle.loads(pickle.dumps(outcome))
+        assert unpickled == outcome
+        assert unpickled.airtime_overhead_fraction == pytest.approx(
+            outcome.airtime_overhead_fraction
+        )
+
     def test_overhead_grows_sublinearly_with_devices(self):
         image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
         config = ReliabilityConfig(segment_loss_probability=0.02)

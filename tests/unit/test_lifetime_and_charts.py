@@ -97,6 +97,19 @@ class TestCharts:
         with pytest.raises(ConfigurationError):
             line_chart("T", [(0, 0)])
 
+    def test_line_chart_constant_series(self):
+        # Constant x and y spans used to divide by zero.
+        chart = line_chart("T", [(5.0, 2.0), (5.0, 2.0), (5.0, 2.0)])
+        assert "*" in chart
+
+    def test_line_chart_constant_series_large_magnitude(self):
+        # At 1e17 the old `lo + 1.0` clamp is absorbed (lo + 1.0 == lo),
+        # so the projection still divided by zero.
+        chart = line_chart("T", [(1e17, 3.0), (1e17, 9.0)])
+        assert chart.count("*") >= 1
+        chart = line_chart("T", [(1.0, -1e17), (2.0, -1e17)])
+        assert chart.count("*") >= 1
+
     def test_fig_helpers(self):
         f7 = fig7_chart({100: 49.0, 500: 180.0, 1000: 271.0})
         assert "Fig. 7" in f7 and "*" in f7

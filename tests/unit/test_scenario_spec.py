@@ -1,0 +1,194 @@
+"""Unit tests for the scenario spec, registry and sweep expansion."""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios import (
+    AXIS_FIELDS,
+    DEFAULT_AXES,
+    ScenarioSpec,
+    SweepAxis,
+    all_scenarios,
+    diff_golden,
+    expand_grid,
+    golden_spec,
+    parse_axis,
+    register_scenario,
+    scenario,
+    scenario_names,
+)
+from repro.scenarios.registry import _REGISTRY
+from repro.traffic.generator import CoverageMix
+
+
+class TestScenarioSpec:
+    def test_defaults_validate(self):
+        spec = ScenarioSpec(name="t")
+        assert spec.mechanism == "dr-sc"
+        assert spec.mixture_obj().name == "paper-default"
+
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", n_devices=0)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", mechanism="carrier-pigeon")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", mixture="no-such-mixture")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", ra_collision_probability=1.5)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", segment_loss_probability=-0.1)
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="t", inactivity_timer_s=0)
+
+    def test_with_overrides_validates(self):
+        spec = ScenarioSpec(name="t")
+        assert spec.with_overrides(n_devices=7).n_devices == 7
+        with pytest.raises(ConfigurationError):
+            spec.with_overrides(warp_factor=9)
+        with pytest.raises(ConfigurationError):
+            spec.with_overrides(n_devices=-1)
+
+    def test_picklable_and_fingerprint_stable(self):
+        spec = ScenarioSpec(
+            name="t", coverage=CoverageMix(normal=0.5, robust=0.3, extreme=0.2)
+        )
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone == spec
+        assert clone.fingerprint() == spec.fingerprint()
+        assert spec.with_overrides(n_devices=9).fingerprint() != spec.fingerprint()
+
+    def test_derived_models_carry_the_stress_axes(self):
+        spec = ScenarioSpec(
+            name="t",
+            ra_collision_probability=0.2,
+            segment_loss_probability=0.1,
+            inactivity_timer_s=10.24,
+        )
+        assert spec.timings().random_access.collision_probability == 0.2
+        assert spec.reliability().segment_loss_probability == 0.1
+        assert spec.cell().inactivity_timer_frames == 1024
+        assert spec.planning_context().payload_bytes == spec.payload_bytes
+        assert spec.image().size_bytes == spec.payload_bytes
+
+
+class TestRegistry:
+    def test_at_least_eight_builtins(self):
+        names = scenario_names()
+        assert len(names) >= 8
+        assert len(set(names)) == len(names)
+        # The regimes the issue names must all be represented.
+        for required in (
+            "dense-urban",
+            "deep-coverage-heavy",
+            "contention-storm",
+            "lossy-link-repair",
+            "mixed-traffic-stress",
+        ):
+            assert required in names
+
+    def test_lookup_and_unknown(self):
+        assert scenario("dense-urban").n_devices == 1000
+        with pytest.raises(ConfigurationError):
+            scenario("atlantis")
+
+    def test_register_rejects_duplicates(self):
+        spec = ScenarioSpec(name="test-duplicate-probe")
+        try:
+            register_scenario(spec)
+            with pytest.raises(ConfigurationError):
+                register_scenario(spec)
+            register_scenario(spec.with_overrides(n_devices=5), replace=True)
+            assert scenario("test-duplicate-probe").n_devices == 5
+        finally:
+            _REGISTRY.pop("test-duplicate-probe", None)
+
+    def test_builtins_span_the_stress_axes(self):
+        specs = all_scenarios()
+        assert any(s.ra_collision_probability >= 0.3 for s in specs)
+        assert any(s.segment_loss_probability >= 0.1 for s in specs)
+        assert any(s.coverage.extreme >= 0.2 for s in specs)
+        assert any(s.mechanism == "unicast" for s in specs)
+        assert len({s.mixture for s in specs}) >= 3
+
+
+class TestSweep:
+    def test_axis_validation(self):
+        with pytest.raises(ConfigurationError):
+            SweepAxis("altitude", (1,))
+        with pytest.raises(ConfigurationError):
+            SweepAxis("devices", ())
+        assert SweepAxis("devices", (10,)).field == "n_devices"
+
+    def test_parse_axis(self):
+        axis = parse_axis("devices=100, 200,300")
+        assert axis.values == (100, 200, 300)
+        assert all(isinstance(v, int) for v in axis.values)
+        assert parse_axis("loss=0,0.1").values == (0.0, 0.1)
+        with pytest.raises(ConfigurationError):
+            parse_axis("devices")
+        with pytest.raises(ValueError):
+            parse_axis("devices=ten")
+
+    def test_grid_expansion_is_cartesian(self):
+        specs = [ScenarioSpec(name="a"), ScenarioSpec(name="b")]
+        axes = [
+            SweepAxis("devices", (10, 20)),
+            SweepAxis("collision", (0.0, 0.1, 0.2)),
+            SweepAxis("loss", (0.0, 0.05)),
+        ]
+        cells = expand_grid(specs, axes)
+        assert len(cells) == 2 * 2 * 3 * 2
+        labels = {cell.label for cell in cells}
+        assert len(labels) == len(cells)
+        assert "a[devices=10,collision=0.1,loss=0.05]" in labels
+        cell = next(c for c in cells if c.label == "b[devices=20,collision=0.2,loss=0]")
+        assert cell.spec.n_devices == 20
+        assert cell.spec.ra_collision_probability == 0.2
+        assert cell.spec.segment_loss_probability == 0.0
+        # Untouched fields survive the derivation.
+        assert cell.spec.mixture == "paper-default"
+
+    def test_grid_rejects_duplicate_axes_and_empties(self):
+        spec = [ScenarioSpec(name="a")]
+        axis = SweepAxis("devices", (10,))
+        with pytest.raises(ConfigurationError):
+            expand_grid(spec, [axis, axis])
+        with pytest.raises(ConfigurationError):
+            expand_grid([], [axis])
+        with pytest.raises(ConfigurationError):
+            expand_grid(spec, [])
+
+    def test_default_axes_cover_three_dimensions(self):
+        assert len(DEFAULT_AXES) >= 3
+        assert {name for name, _ in DEFAULT_AXES} <= set(AXIS_FIELDS)
+
+
+class TestGoldenHelpers:
+    def test_golden_spec_caps_runs_and_devices(self):
+        g = golden_spec(scenario("dense-urban"))
+        assert g.n_runs == 2
+        assert g.n_devices <= 120
+        small = golden_spec(ScenarioSpec(name="t", n_devices=5))
+        assert small.n_devices == 5
+
+    def test_diff_golden_flags_every_discrepancy_kind(self):
+        pinned = {"a": {"m": 1.0, "n": 2.0}, "b": {"m": 3.0}}
+        same = {"a": {"m": 1.0, "n": 2.0}, "b": {"m": 3.0}}
+        assert diff_golden(same, pinned) == []
+        drifted = {"a": {"m": 1.0 + 1e-6, "n": 2.0}, "b": {"m": 3.0}}
+        assert any("a.m" in p for p in diff_golden(drifted, pinned))
+        missing = {"a": {"m": 1.0}}
+        problems = diff_golden(missing, pinned)
+        assert any("b:" in p for p in problems)
+        assert any("a.n" in p for p in problems)
+        extra = {**same, "c": {"m": 0.0}}
+        assert any("c:" in p for p in diff_golden(extra, pinned))
+
+    def test_tiny_drift_within_tolerance_passes(self):
+        pinned = {"a": {"m": 1.0}}
+        assert diff_golden({"a": {"m": 1.0 + 1e-12}}, pinned) == []

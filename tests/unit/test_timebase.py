@@ -39,6 +39,14 @@ class TestConversions:
         assert ms_to_frames(10) == 1
         assert ms_to_frames(11) == 2
 
+    def test_ms_to_frames_snaps_float_noise_to_subframe_grid(self):
+        # Instants within half a subframe of an integer millisecond
+        # resolve to that millisecond before the frame ceiling — the
+        # old epsilon ceiling charged a whole extra frame here.
+        assert ms_to_frames(10.0000001) == 1
+        assert ms_to_frames(1e9 + 1e-6) == 100_000_000
+        assert ms_to_frames(9.9999999) == 1
+
     def test_ms_to_frames_strict_accepts_exact(self):
         assert ms_to_frames(20, strict=True) == 2
 

@@ -6,6 +6,7 @@ import pytest
 from repro.devices.profiles import DeviceCategory
 from repro.drx.cycles import DrxCycle
 from repro.errors import ConfigurationError
+from repro.traffic.validation import validate_unit_sum
 from repro.phy.coverage import CoverageClass
 from repro.traffic.generator import (
     URBAN_COVERAGE,
@@ -14,10 +15,12 @@ from repro.traffic.generator import (
 )
 from repro.traffic.mixtures import (
     LONG_EDRX_MIXTURE,
+    MIXTURES,
     MODERATE_EDRX_MIXTURE,
     PAPER_DEFAULT_MIXTURE,
     SHORT_EDRX_MIXTURE,
     CategoryProfile,
+    mixture_by_name,
     TrafficMixture,
 )
 
@@ -127,3 +130,57 @@ class TestGenerateFleet:
     def test_ablation_mixtures_cover_scales(self, rng):
         assert SHORT_EDRX_MIXTURE.max_cycle < MODERATE_EDRX_MIXTURE.max_cycle
         assert MODERATE_EDRX_MIXTURE.max_cycle < LONG_EDRX_MIXTURE.max_cycle
+
+
+class TestUnifiedWeightValidation:
+    """CoverageMix and CategoryProfile share one sum-to-1 arbiter.
+
+    The two layers used to disagree (raw ``abs(total - 1) > 1e-9`` vs
+    ``math.isclose`` with a relative tolerance), so a distribution valid
+    in one could be rejected in the other.
+    """
+
+    # Just inside / just outside the shared tolerance at a total of 1.
+    INSIDE = 5e-10
+    OUTSIDE = 5e-9
+
+    def test_boundary_agreement_inside(self):
+        shares = (0.5 + self.INSIDE, 0.3, 0.2)
+        CoverageMix(*shares)
+        CategoryProfile(
+            weight=1.0,
+            cycle_distribution={
+                DrxCycle.from_seconds(20.48): shares[0],
+                DrxCycle.from_seconds(40.96): shares[1],
+                DrxCycle.from_seconds(81.92): shares[2],
+            },
+        )
+
+    def test_boundary_agreement_outside(self):
+        shares = (0.5 + self.OUTSIDE, 0.3, 0.2)
+        with pytest.raises(ConfigurationError):
+            CoverageMix(*shares)
+        with pytest.raises(ConfigurationError):
+            CategoryProfile(
+                weight=1.0,
+                cycle_distribution={
+                    DrxCycle.from_seconds(20.48): shares[0],
+                    DrxCycle.from_seconds(40.96): shares[1],
+                    DrxCycle.from_seconds(81.92): shares[2],
+                },
+            )
+
+    def test_helper_rejects_negative_and_empty(self):
+        with pytest.raises(ConfigurationError):
+            validate_unit_sum((1.5, -0.5), what="shares")
+        with pytest.raises(ConfigurationError):
+            validate_unit_sum((), what="shares")
+        assert validate_unit_sum((0.25,) * 4, what="shares") == 1.0
+
+    def test_mixture_registry_lookup(self):
+        assert mixture_by_name("paper-default") is PAPER_DEFAULT_MIXTURE
+        assert set(MIXTURES) >= {
+            "paper-default", "short-edrx", "moderate-edrx", "long-edrx",
+        }
+        with pytest.raises(ConfigurationError):
+            mixture_by_name("no-such-mixture")
