@@ -48,7 +48,15 @@ from repro.enb import CellConfig, ENodeB
 from repro.energy import EnergyProfile, PowerState, UptimeLedger
 from repro.errors import ReproError
 from repro.experiments import ExperimentConfig, run_fig6a, run_fig6b, run_fig7
-from repro.multicast import CampaignReport, FirmwareImage, OnDemandMulticastService
+from repro.multicast import (
+    CampaignReport,
+    CoordinationEntity,
+    FirmwareImage,
+    MultiCellReport,
+    MultiCellSpec,
+    OnDemandMulticastService,
+    partition_fleet,
+)
 from repro.phy import AirtimeModel, CoverageClass
 from repro.rrc import ProcedureTimings, RandomAccessModel
 from repro.scenarios import (
@@ -118,6 +126,10 @@ __all__ = [
     "OnDemandMulticastService",
     "CampaignReport",
     "FirmwareImage",
+    "CoordinationEntity",
+    "MultiCellSpec",
+    "MultiCellReport",
+    "partition_fleet",
     # sim
     "Simulator",
     "CampaignExecutor",

@@ -151,9 +151,36 @@ class Fleet:
         return float(self._rates[idx].min())
 
     def subset(self, indices: Sequence[int]) -> "Fleet":
-        """A new fleet containing only the devices at ``indices``."""
+        """A new fleet containing only the devices at ``indices``.
+
+        The columnar views are sliced from the parent's precomputed
+        arrays instead of being rebuilt from the device objects, so
+        carving a large fleet into many sub-fleets (the multi-cell
+        partitioner's inner loop) is a handful of fancy-indexing
+        operations per cell rather than a full per-device rebuild.
+        """
         idx = self._validated_indices(indices)
-        return Fleet([self._devices[i] for i in idx])
+        if idx.size == 0:
+            raise FleetError("a fleet must contain at least one device")
+        if np.unique(idx).size != idx.size:
+            # Duplicate indices would duplicate IMSIs; same failure mode
+            # the full constructor enforces.
+            raise FleetError("fleet contains duplicate IMSIs")
+        fleet = object.__new__(Fleet)
+        if idx.size == 1:
+            fleet._devices = (self._devices[idx[0]],)
+        else:
+            from operator import itemgetter
+
+            fleet._devices = itemgetter(*idx.tolist())(self._devices)
+        fleet._phases = self._phases[idx]
+        fleet._periods = self._periods[idx]
+        fleet._rates = self._rates[idx]
+        fleet._coverage_codes = self._coverage_codes[idx]
+        fleet._ue_ids = self._ue_ids[idx]
+        fleet._nb_numerators = self._nb_numerators[idx]
+        fleet._nb_denominators = self._nb_denominators[idx]
+        return fleet
 
     def _validated_indices(self, indices: Sequence[int]) -> np.ndarray:
         idx = np.asarray(indices, dtype=np.int64)

@@ -16,9 +16,14 @@ from repro.multicast.payload import FirmwareImage
 from repro.multicast.ondemand import CampaignReport, OnDemandMulticastService
 from repro.multicast.scptm import ScPtmConfig, scptm_monitoring_overhead_s
 from repro.multicast.coordination import (
+    CellCampaign,
     CoordinationEntity,
     MultiCellReport,
+    MultiCellSpec,
+    attach_devices,
+    cells_bit_identical,
     partition_fleet,
+    partition_indices,
 )
 from repro.multicast.reliability import (
     ReliabilityConfig,
@@ -32,9 +37,14 @@ __all__ = [
     "CampaignReport",
     "ScPtmConfig",
     "scptm_monitoring_overhead_s",
+    "CellCampaign",
     "CoordinationEntity",
     "MultiCellReport",
+    "MultiCellSpec",
+    "attach_devices",
+    "cells_bit_identical",
     "partition_fleet",
+    "partition_indices",
     "ReliabilityConfig",
     "RepairOutcome",
     "simulate_repair_rounds",

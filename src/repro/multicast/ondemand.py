@@ -53,7 +53,7 @@ class CampaignReport:
             f"payload             : {format_bytes(self.plan.payload_bytes)}",
             f"transmissions       : {self.plan.n_transmissions}",
             f"campaign duration   : "
-            f"{format_duration(self.result.horizon_frames * 0.010)}",
+            f"{format_duration(frames_to_seconds(self.result.horizon_frames))}",
             f"paging messages     : {self.paging.total_pages} pages in "
             f"{self.paging.occupied_occasions} occasions",
             f"carrier airtime     : {self.utilization.total_airtime_s:.1f}s "

@@ -29,7 +29,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 
 
 @dataclass(frozen=True)
@@ -94,20 +94,34 @@ class RachSimulationResult:
 
     @property
     def success_rate(self) -> float:
-        """Fraction of devices that eventually succeeded."""
+        """Fraction of devices that eventually succeeded.
+
+        An empty simulation (zero arrivals) vacuously succeeded: no
+        device failed.
+        """
+        if self.n_devices == 0:
+            return 1.0
         return 1.0 - len(self.failed) / self.n_devices
 
     @property
     def mean_attempts(self) -> float:
-        """Mean preamble transmissions per device (failures included)."""
+        """Mean preamble transmissions per device (failures included);
+        0 for an empty simulation."""
+        if self.n_devices == 0:
+            return 0.0
         return float(np.mean(self.attempts))
 
     @property
     def mean_access_delay_ms(self) -> float:
-        """Mean arrival-to-success delay over successful devices."""
+        """Mean arrival-to-success delay over successful devices.
+
+        Zero successes is a runtime outcome of the contention draw, not
+        a misconfiguration, so it raises
+        :class:`~repro.errors.SimulationError`.
+        """
         ok = ~np.isnan(self.success_times_ms)
         if not ok.any():
-            raise ConfigurationError("no device succeeded")
+            raise SimulationError("no device succeeded")
         return float(np.mean(self.success_times_ms[ok]))
 
 
@@ -126,7 +140,14 @@ def simulate_rach(
     """
     arrivals = np.asarray(arrival_times_ms, dtype=np.float64)
     if arrivals.size == 0:
-        raise ConfigurationError("no arrivals to simulate")
+        # An empty batch is a legitimate runtime outcome (e.g. a paging
+        # window that notified nobody), not a misconfiguration: report
+        # that nothing contended rather than raising.
+        return RachSimulationResult(
+            success_times_ms=np.empty(0, dtype=np.float64),
+            attempts=np.zeros(0, dtype=np.int64),
+            failed=(),
+        )
     if np.any(arrivals < 0):
         raise ConfigurationError("arrival times must be non-negative")
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from repro.errors import ConfigurationError
+from repro.multicast.coordination import MultiCellSpec
 from repro.scenarios.spec import ScenarioSpec
 from repro.timebase import KILOBYTE, MEGABYTE
 from repro.traffic.generator import CoverageMix
@@ -171,4 +172,35 @@ UNICAST_REFERENCE = register_scenario(ScenarioSpec(
     mixture="paper-default",
     mechanism="unicast",
     payload_bytes=MEGABYTE,
+))
+
+#: City-scale rollout: the operator distributes list and data to every
+#: eNB the devices attach to (the multi-cell deployment of ref. [3]);
+#: each cell plans and serves its own share on its own carrier.
+CITY_ROLLOUT = register_scenario(ScenarioSpec(
+    name="city-rollout",
+    description="16-cell city campaign, uniform attachment, urban coverage",
+    n_devices=2000,
+    mixture="paper-default",
+    coverage=CoverageMix(normal=0.80, robust=0.15, extreme=0.05),
+    mechanism="dr-sc",
+    payload_bytes=MEGABYTE,
+    cells=MultiCellSpec(n_cells=16),
+))
+
+#: Non-uniform cell load: a few macro cells carry most of the fleet
+#: while suburban cells see a trickle — the regime where per-cell
+#: campaign durations diverge most.
+SKEWED_CELLS = register_scenario(ScenarioSpec(
+    name="skewed-cells",
+    description="8 cells with skewed attachment (30%..2.5%), DA-SC",
+    n_devices=800,
+    mixture="moderate-edrx",
+    coverage=CoverageMix(normal=0.70, robust=0.20, extreme=0.10),
+    mechanism="da-sc",
+    payload_bytes=100 * KILOBYTE,
+    cells=MultiCellSpec(
+        n_cells=8,
+        weights=(0.30, 0.25, 0.15, 0.10, 0.075, 0.05, 0.05, 0.025),
+    ),
 ))

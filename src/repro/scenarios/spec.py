@@ -24,6 +24,7 @@ from repro.core.registry import MECHANISMS
 from repro.devices.battery import Battery
 from repro.enb.cell import CellConfig
 from repro.errors import ConfigurationError
+from repro.multicast.coordination import MultiCellSpec
 from repro.multicast.payload import DEFAULT_SEGMENT_BYTES, FirmwareImage
 from repro.multicast.reliability import ReliabilityConfig
 from repro.rrc.procedures import ProcedureTimings
@@ -56,6 +57,9 @@ class ScenarioSpec:
             the NACK-driven repair model (0 = lossless).
         max_repair_rounds: repair-round give-up bound.
         segment_bytes: link-layer segment size.
+        cells: multi-cell deployment shape (cell count plus optional
+            non-uniform attachment weights); the default single cell
+            reproduces the paper's evaluation.
         n_runs: Monte-Carlo repetitions.
         seed: root seed (children spawned per run).
         battery_mah: battery capacity behind the energy-drain metric.
@@ -75,6 +79,7 @@ class ScenarioSpec:
     segment_loss_probability: float = 0.0
     max_repair_rounds: int = 10
     segment_bytes: int = DEFAULT_SEGMENT_BYTES
+    cells: MultiCellSpec = MultiCellSpec()
     n_runs: int = 20
     seed: int = 2018
     battery_mah: float = 5000.0
@@ -102,6 +107,10 @@ class ScenarioSpec:
             )
         if self.n_runs < 1:
             raise ConfigurationError(f"n_runs must be >= 1, got {self.n_runs}")
+        if not isinstance(self.cells, MultiCellSpec):
+            raise ConfigurationError(
+                f"cells must be a MultiCellSpec, got {self.cells!r}"
+            )
         # The RA / reliability sub-models re-validate their own ranges.
         self.timings()
         self.reliability()
@@ -182,5 +191,6 @@ class ScenarioSpec:
             "payload": self.payload_bytes,
             "collision": self.ra_collision_probability,
             "loss": self.segment_loss_probability,
+            "cells": self.cells.n_cells,
             "runs": self.n_runs,
         }

@@ -18,6 +18,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments.reporting import Table
+from repro.multicast.coordination import MultiCellSpec
 from repro.scenarios.runner import run_scenario
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.montecarlo import RunStatistics
@@ -33,8 +34,16 @@ AXIS_FIELDS: Dict[str, str] = {
     "ti": "inactivity_timer_s",
     "collision": "ra_collision_probability",
     "loss": "segment_loss_probability",
+    "cells": "cells",
     "runs": "n_runs",
     "seed": "seed",
+}
+
+#: Axes whose numeric CLI value must be wrapped into a richer spec
+#: field. A ``cells`` sweep varies the uniform cell count (sweeping the
+#: full weighted shape would be a different scenario, not an axis).
+_AXIS_WRAPPERS = {
+    "cells": lambda value: MultiCellSpec(n_cells=int(value)),
 }
 
 #: The default ≥3-axis stress grid (kept tiny: the grid multiplies).
@@ -97,7 +106,7 @@ def parse_axis(spec: str) -> SweepAxis:
         if not part:
             continue
         number = float(part)
-        if field in ("n_devices", "payload_bytes", "n_runs", "seed"):
+        if field in ("n_devices", "payload_bytes", "cells", "n_runs", "seed"):
             number = int(number)
         values.append(number)
     return SweepAxis(name=name, values=tuple(values))
@@ -120,7 +129,8 @@ def expand_grid(
     for spec in scenarios:
         for combo in itertools.product(*(axis.values for axis in axes)):
             overrides = {
-                axis.field: value for axis, value in zip(axes, combo)
+                axis.field: _AXIS_WRAPPERS.get(axis.name, lambda v: v)(value)
+                for axis, value in zip(axes, combo)
             }
             coordinates = tuple(
                 (axis.name, value) for axis, value in zip(axes, combo)

@@ -25,7 +25,7 @@ from typing import Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.sim.parallel import ResultCache, RunFn, run_in_processes
 from repro.sim.rng import spawn_generators
 
@@ -35,9 +35,21 @@ BACKENDS = ("serial", "process")
 
 @dataclass(frozen=True)
 class RunStatistics:
-    """Aggregate of one metric across runs."""
+    """Aggregate of one metric across runs.
+
+    An empty value array has no statistics: every reduction raises
+    :class:`~repro.errors.SimulationError` instead of propagating
+    NumPy's NaN-plus-RuntimeWarning behaviour (the same contract as
+    ``CampaignResult.mean_wait_s`` on a result with no outcomes).
+    """
 
     values: np.ndarray
+
+    def _require_runs(self, what: str) -> None:
+        if self.values.size == 0:
+            raise SimulationError(
+                f"{what} is undefined for statistics over zero runs"
+            )
 
     @property
     def n(self) -> int:
@@ -47,11 +59,13 @@ class RunStatistics:
     @property
     def mean(self) -> float:
         """Sample mean."""
+        self._require_runs("mean")
         return float(np.mean(self.values))
 
     @property
     def std(self) -> float:
         """Sample standard deviation (ddof=1; 0 for a single run)."""
+        self._require_runs("std")
         if self.values.size < 2:
             return 0.0
         return float(np.std(self.values, ddof=1))
@@ -59,6 +73,7 @@ class RunStatistics:
     @property
     def sem(self) -> float:
         """Standard error of the mean."""
+        self._require_runs("sem")
         if self.values.size < 2:
             return 0.0
         return self.std / math.sqrt(self.values.size)
@@ -71,11 +86,13 @@ class RunStatistics:
     @property
     def min(self) -> float:
         """Smallest observed value."""
+        self._require_runs("min")
         return float(np.min(self.values))
 
     @property
     def max(self) -> float:
         """Largest observed value."""
+        self._require_runs("max")
         return float(np.max(self.values))
 
     def __str__(self) -> str:

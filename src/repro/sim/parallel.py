@@ -23,6 +23,7 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, is_dataclass
+from functools import partial
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -33,6 +34,9 @@ from repro.errors import ConfigurationError
 
 #: A run function: (rng, run_index) -> {metric name: value}.
 RunFn = Callable[[np.random.Generator, int], Mapping[str, float]]
+
+#: A map function: (rng, item_index, item) -> any picklable result.
+MapFn = Callable[[np.random.Generator, int, Any], Any]
 
 #: Shards dispatched per worker; >1 smooths out uneven shard runtimes.
 CHUNKS_PER_WORKER = 4
@@ -59,25 +63,17 @@ def shard_ranges(n_runs: int, n_shards: int) -> List[range]:
     return ranges
 
 
-def _execute_shard(
-    fn: RunFn, seed: int, n_runs: int, start: int, stop: int
-) -> List[Dict[str, float]]:
-    """Worker entry point: run indices ``[start, stop)`` of the campaign.
-
-    Spawns the full ``n_runs`` child sequence and slices it, so run ``i``
-    gets the exact generator the serial path would hand it.
-    """
-    children = np.random.SeedSequence(seed).spawn(n_runs)[start:stop]
-    out: List[Dict[str, float]] = []
-    for offset, child in enumerate(children):
-        rng = np.random.default_rng(child)
-        out.append({k: float(v) for k, v in fn(rng, start + offset).items()})
-    return out
-
-
 def default_workers() -> int:
     """Worker count used when none is given (all visible cores)."""
     return max(1, os.cpu_count() or 1)
+
+
+def _metric_run_item(
+    rng: np.random.Generator, index: int, _item: Any, *, fn: RunFn
+) -> Dict[str, float]:
+    """Adapter: one Monte-Carlo run as a map item (coerces to floats
+    in the worker, so only plain metric dicts cross back)."""
+    return {k: float(v) for k, v in fn(rng, index).items()}
 
 
 def run_in_processes(
@@ -91,8 +87,73 @@ def run_in_processes(
 
     Returns the per-run metric dicts in run-index order. ``fn`` must be
     picklable (a module-level function or :func:`functools.partial` of
-    one — not a lambda or closure).
+    one — not a lambda or closure). A thin front over
+    :func:`map_in_processes`, which owns the sharding and the per-index
+    child-RNG contract.
     """
+    if n_runs < 1:
+        raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+    return map_in_processes(
+        partial(_metric_run_item, fn=fn),
+        seed,
+        range(n_runs),
+        workers=workers,
+        chunks_per_worker=chunks_per_worker,
+    )
+
+
+# ----------------------------------------------------------------------
+# Generic item mapping (per-item child RNGs, arbitrary picklable results)
+# ----------------------------------------------------------------------
+def _map_shard(
+    fn: MapFn, seed: int, n_items: int, start: int, items: Sequence[Any]
+) -> List[Any]:
+    """Worker entry point: map items ``[start, start+len(items))``.
+
+    Spawns the full ``n_items`` child sequence and slices it, so item
+    ``i`` gets the exact generator the serial path would hand it. Only
+    the shard's own item slice crosses the process boundary.
+    """
+    children = np.random.SeedSequence(seed).spawn(n_items)[
+        start : start + len(items)
+    ]
+    return [
+        fn(np.random.default_rng(child), start + offset, item)
+        for offset, (child, item) in enumerate(zip(children, items))
+    ]
+
+
+def map_serial(fn: MapFn, seed: int, items: Sequence[Any]) -> List[Any]:
+    """Map ``fn`` over ``items`` in-process with per-item child RNGs.
+
+    The reference path :func:`map_in_processes` is bit-identical to:
+    item ``i`` always receives ``SeedSequence(seed).spawn(n)[i]``.
+    """
+    items = list(items)
+    if not items:
+        raise ConfigurationError("no items to map")
+    return _map_shard(fn, seed, len(items), 0, items)
+
+
+def map_in_processes(
+    fn: MapFn,
+    seed: int,
+    items: Sequence[Any],
+    workers: Optional[int] = None,
+    chunks_per_worker: int = CHUNKS_PER_WORKER,
+) -> List[Any]:
+    """Map ``fn`` over ``items`` across a process pool.
+
+    The generalisation of :func:`run_in_processes` from metric dicts to
+    arbitrary picklable results: items are split into contiguous shards,
+    each worker re-derives the same per-item child generators from the
+    root seed, and each shard ships only its own slice of ``items`` —
+    results are bit-identical to :func:`map_serial` for any worker
+    count. ``fn``, every item and every result must be picklable.
+    """
+    items = list(items)
+    if not items:
+        raise ConfigurationError("no items to map")
     workers = default_workers() if workers is None else workers
     if workers < 1:
         raise ConfigurationError(f"workers must be >= 1, got {workers}")
@@ -104,23 +165,28 @@ def run_in_processes(
         pickle.dumps(fn)
     except Exception as exc:
         raise ConfigurationError(
-            "backend='process' requires a picklable run function "
+            "map_in_processes requires a picklable map function "
             "(module-level function or functools.partial of one); "
             f"got {fn!r}: {exc}"
         ) from exc
 
-    shards = shard_ranges(n_runs, workers * chunks_per_worker)
-    results: List[Optional[List[Dict[str, float]]]] = [None] * len(shards)
+    shards = shard_ranges(len(items), workers * chunks_per_worker)
+    results: List[Optional[List[Any]]] = [None] * len(shards)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
             pool.submit(
-                _execute_shard, fn, seed, n_runs, shard.start, shard.stop
+                _map_shard,
+                fn,
+                seed,
+                len(items),
+                shard.start,
+                items[shard.start : shard.stop],
             ): i
             for i, shard in enumerate(shards)
         }
         for future, i in futures.items():
             results[i] = future.result()
-    out: List[Dict[str, float]] = []
+    out: List[Any] = []
     for shard_result in results:
         assert shard_result is not None
         out.extend(shard_result)

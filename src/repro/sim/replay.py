@@ -97,10 +97,12 @@ class EventDrivenCampaign:
         horizon = self._resolve_horizon(horizon_frames, end_s)
         horizon_s = frames_to_seconds(horizon)
 
-        # Phase 2: run the idle chains out to the horizon. PO charges are
-        # recorded as frames and filtered by the horizon at finalisation,
-        # so a phase-1 bound that overshot the horizon cannot overcharge.
-        self._sim.run(until_s=(horizon - 0.5) * 0.010)
+        # Phase 2: run the idle chains out to the horizon, stopping half
+        # a frame short so the PO at the horizon boundary itself never
+        # fires. PO charges are recorded as frames and filtered by the
+        # horizon at finalisation, so a phase-1 bound that overshot the
+        # horizon cannot overcharge.
+        self._sim.run(until_s=horizon_s - 0.5 * frames_to_seconds(1))
 
         outcomes = []
         for device_index in sorted(self._devices):

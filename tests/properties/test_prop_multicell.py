@@ -1,0 +1,150 @@
+"""Multi-cell conservation properties.
+
+Partitioning a fleet across cells and running one campaign per cell
+must conserve the fleet: every device lands in exactly one cell
+(uniform or weighted attachment, vectorised or reference grouping), and
+the union of the per-cell :class:`~repro.sim.metrics.CampaignResult`s
+reproduces the whole-fleet totals — device count exactly, transmission
+count as the sum of per-cell plans, and energy/uptime as the sum of
+per-cell fleet summaries within 1e-9 of a float re-reduction.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DrScMechanism
+from repro.core.base import PlanningContext
+from repro.multicast.coordination import (
+    CoordinationEntity,
+    MultiCellSpec,
+    attach_devices,
+    partition_fleet,
+    partition_indices,
+)
+from repro.multicast.payload import FirmwareImage
+from repro.traffic.generator import generate_fleet
+from repro.traffic.mixtures import MODERATE_EDRX_MIXTURE
+
+
+@st.composite
+def attachment_cases(draw):
+    n_devices = draw(st.integers(min_value=1, max_value=400))
+    n_cells = draw(st.integers(min_value=1, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    weighted = draw(st.booleans())
+    weights = None
+    if weighted and n_cells > 1:
+        raw = draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=1.0),
+                min_size=n_cells,
+                max_size=n_cells,
+            )
+        )
+        total = sum(raw)
+        weights = tuple(w / total for w in raw)
+        # Float renormalisation noise: pin the last weight so the sum
+        # is exactly what validate_unit_sum accepts.
+        weights = weights[:-1] + (1.0 - sum(weights[:-1]),)
+    return n_devices, n_cells, seed, weights
+
+
+class TestPartitionConservation:
+    @given(attachment_cases())
+    @settings(max_examples=60, deadline=None)
+    def test_every_device_in_exactly_one_cell(self, case):
+        n_devices, n_cells, seed, weights = case
+        spec = MultiCellSpec(n_cells=n_cells, weights=weights)
+        attachments = attach_devices(
+            n_devices, spec, np.random.default_rng(seed)
+        )
+        cells = partition_indices(attachments, n_cells)
+        union = np.concatenate(list(cells.values())) if cells else np.array([])
+        assert union.size == n_devices
+        assert np.array_equal(np.sort(union), np.arange(n_devices))
+        for cell_id, indices in cells.items():
+            assert np.all(attachments[indices] == cell_id)
+            # Ascending within each cell (stable grouping).
+            assert np.all(np.diff(indices) > 0) or indices.size == 1
+
+    @given(attachment_cases())
+    @settings(max_examples=40, deadline=None)
+    def test_vectorised_equals_reference(self, case):
+        n_devices, n_cells, seed, weights = case
+        spec = MultiCellSpec(n_cells=n_cells, weights=weights)
+        attachments = attach_devices(
+            n_devices, spec, np.random.default_rng(seed)
+        )
+        fast = partition_indices(attachments, n_cells, method="vectorised")
+        reference = partition_indices(attachments, n_cells, method="reference")
+        assert set(fast) == set(reference)
+        for cell_id in fast:
+            np.testing.assert_array_equal(fast[cell_id], reference[cell_id])
+
+
+class TestRolloutConservation:
+    @given(
+        n_devices=st.integers(min_value=4, max_value=60),
+        n_cells=st.integers(min_value=1, max_value=6),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_union_of_cells_reproduces_fleet_totals(
+        self, n_devices, n_cells, seed
+    ):
+        rng = np.random.default_rng(seed)
+        fleet = generate_fleet(n_devices, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(fleet, n_cells, rng)
+        image = FirmwareImage(name="fw", version="1", size_bytes=50_000)
+        context = PlanningContext(payload_bytes=image.size_bytes)
+        report = CoordinationEntity(DrScMechanism()).rollout(
+            cells, image, context, seed=seed
+        )
+
+        # Device conservation: the union of per-cell fleets is exactly
+        # the whole fleet (no device lost, none duplicated).
+        union_imsis = [
+            device.identity.imsi
+            for cell_fleet in cells.values()
+            for device in cell_fleet
+        ]
+        assert sorted(union_imsis) == sorted(
+            device.identity.imsi for device in fleet
+        )
+        assert report.total_devices == n_devices
+        assert report.total_transmissions == sum(
+            c.plan.n_transmissions for c in report.campaigns
+        )
+        # Energy/uptime: the columnar per-cell reductions must agree
+        # with a re-reduction over the union of materialised per-device
+        # outcomes, within 1e-9.
+        device_energy = sum(
+            outcome.ledger.energy_mj(campaign.result.energy_profile)
+            for campaign in report.campaigns
+            for outcome in campaign.result.outcomes
+        )
+        assert report.total_energy_mj == pytest.approx(
+            device_energy, rel=1e-9, abs=1e-9
+        )
+        device_light = sum(
+            outcome.totals.light_sleep_s
+            for campaign in report.campaigns
+            for outcome in campaign.result.outcomes
+        )
+        assert report.total_light_sleep_s == pytest.approx(
+            device_light, rel=1e-9, abs=1e-9
+        )
+        device_connected = sum(
+            outcome.totals.connected_s
+            for campaign in report.campaigns
+            for outcome in campaign.result.outcomes
+        )
+        assert report.total_connected_s == pytest.approx(
+            device_connected, rel=1e-9, abs=1e-9
+        )
+        # Every transmission serves someone; no cell is empty.
+        for campaign in report.campaigns:
+            assert campaign.fleet_size >= 1
+            assert campaign.result.n_devices == campaign.fleet_size

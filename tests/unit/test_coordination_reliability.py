@@ -5,10 +5,13 @@ import pytest
 
 from repro.core import DaScMechanism, DrScMechanism
 from repro.core.base import PlanningContext
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, FleetError
 from repro.multicast.coordination import (
     CoordinationEntity,
+    MultiCellSpec,
+    attach_devices,
     partition_fleet,
+    partition_indices,
 )
 from repro.multicast.payload import FirmwareImage
 from repro.multicast.reliability import (
@@ -40,6 +43,72 @@ class TestPartition:
         fleet = generate_fleet(10, MODERATE_EDRX_MIXTURE, rng)
         with pytest.raises(ConfigurationError):
             partition_fleet(fleet, 0, rng)
+
+    def test_vectorised_matches_reference_indices(self, rng):
+        attachments = attach_devices(500, MultiCellSpec(n_cells=9), rng)
+        reference = partition_indices(attachments, 9, method="reference")
+        fast = partition_indices(attachments, 9, method="vectorised")
+        assert set(reference) == set(fast)
+        for cell_id in reference:
+            np.testing.assert_array_equal(reference[cell_id], fast[cell_id])
+
+    def test_vectorised_matches_reference_fleets(self, rng):
+        fleet = generate_fleet(60, MODERATE_EDRX_MIXTURE, rng)
+        reference = partition_fleet(
+            fleet, 5, np.random.default_rng(3), method="reference"
+        )
+        fast = partition_fleet(
+            fleet, 5, np.random.default_rng(3), method="vectorised"
+        )
+        assert set(reference) == set(fast)
+        for cell_id in reference:
+            assert reference[cell_id].devices == fast[cell_id].devices
+
+    def test_unknown_method_rejected(self, rng):
+        with pytest.raises(ConfigurationError):
+            partition_indices(np.zeros(4, dtype=np.int64), 2, method="magic")
+
+    def test_weighted_attachment_skews_load(self, rng):
+        fleet = generate_fleet(400, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(
+            fleet, 2, rng, weights=(0.9, 0.1)
+        )
+        assert sum(len(f) for f in cells.values()) == 400
+        assert len(cells[0]) > 3 * len(cells[1])
+
+    def test_weight_validation(self):
+        with pytest.raises(ConfigurationError):
+            MultiCellSpec(n_cells=2, weights=(0.9, 0.2))  # sums to 1.1
+        with pytest.raises(ConfigurationError):
+            MultiCellSpec(n_cells=3, weights=(0.5, 0.5))  # wrong length
+        with pytest.raises(ConfigurationError):
+            MultiCellSpec(n_cells=0)
+        assert not MultiCellSpec().is_multi_cell
+        assert MultiCellSpec(n_cells=2).is_multi_cell
+
+    def test_subset_preserves_columnar_views(self, rng):
+        fleet = generate_fleet(50, MODERATE_EDRX_MIXTURE, rng)
+        indices = [4, 7, 23, 41]
+        sub = fleet.subset(indices)
+        rebuilt = type(fleet)([fleet[i] for i in indices])
+        np.testing.assert_array_equal(sub.phases, rebuilt.phases)
+        np.testing.assert_array_equal(sub.periods, rebuilt.periods)
+        np.testing.assert_array_equal(sub.ue_ids, rebuilt.ue_ids)
+        np.testing.assert_array_equal(sub.coverage_codes, rebuilt.coverage_codes)
+        np.testing.assert_array_equal(
+            sub.downlink_rates_bps, rebuilt.downlink_rates_bps
+        )
+        np.testing.assert_array_equal(sub.nb_numerators, rebuilt.nb_numerators)
+        np.testing.assert_array_equal(
+            sub.nb_denominators, rebuilt.nb_denominators
+        )
+
+    def test_subset_rejects_empty_and_duplicates(self, rng):
+        fleet = generate_fleet(10, MODERATE_EDRX_MIXTURE, rng)
+        with pytest.raises(FleetError):
+            fleet.subset([])
+        with pytest.raises(FleetError):
+            fleet.subset([1, 1])
 
 
 class TestCoordination:
@@ -84,6 +153,52 @@ class TestCoordination:
         context = PlanningContext(payload_bytes=image.size_bytes)
         with pytest.raises(ConfigurationError):
             CoordinationEntity(DaScMechanism()).rollout({}, image, context, rng)
+
+    def test_seeded_serial_rollout_reproducible(self, rng):
+        fleet = generate_fleet(40, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(fleet, 3, rng)
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        context = PlanningContext(payload_bytes=image.size_bytes)
+        entity = CoordinationEntity(DrScMechanism())
+        first = entity.rollout(cells, image, context, seed=99)
+        second = entity.rollout(cells, image, context, seed=99)
+        for a, b in zip(first.campaigns, second.campaigns):
+            assert a.plan.transmissions == b.plan.transmissions
+            assert a.result.fleet == b.result.fleet
+
+    def test_rollout_rejects_bad_randomness_combinations(self, rng):
+        fleet = generate_fleet(10, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(fleet, 2, rng)
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        context = PlanningContext(payload_bytes=image.size_bytes)
+        entity = CoordinationEntity(DrScMechanism())
+        with pytest.raises(ConfigurationError):
+            entity.rollout(cells, image, context, rng, seed=1)
+        with pytest.raises(ConfigurationError):
+            entity.rollout(cells, image, context, rng, backend="process")
+        with pytest.raises(ConfigurationError):
+            entity.rollout(cells, image, context, seed=1, backend="thread")
+
+    def test_report_aggregates(self, rng):
+        fleet = generate_fleet(30, MODERATE_EDRX_MIXTURE, rng)
+        cells = partition_fleet(fleet, 3, rng)
+        image = FirmwareImage(name="fw", version="1", size_bytes=100_000)
+        context = PlanningContext(payload_bytes=image.size_bytes)
+        report = CoordinationEntity(DrScMechanism()).rollout(
+            cells, image, context, seed=5
+        )
+        assert report.total_devices == 30
+        per_cell_means = [
+            (c.result.mean_wait_s, c.fleet_size) for c in report.campaigns
+        ]
+        expected = sum(m * n for m, n in per_cell_means) / 30
+        assert report.mean_wait_s == pytest.approx(expected)
+        assert report.largest_group == max(
+            t.group_size for c in report.campaigns for t in c.plan.transmissions
+        )
+        assert report.total_light_sleep_s > 0
+        assert report.total_connected_s > 0
+        assert report.campaign_duration_s > 0
 
 
 class TestReliability:

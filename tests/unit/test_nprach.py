@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.rrc.nprach import (
     NprachConfig,
     simulate_rach,
@@ -85,7 +85,9 @@ class TestSimulation:
         result = simulate_rach([0.0, 0.0], config, rng)
         assert result.success_rate == 0.0
         assert set(result.failed) == {0, 1}
-        with pytest.raises(ConfigurationError):
+        # Zero successes is a runtime outcome of the contention draw,
+        # not a misconfiguration.
+        with pytest.raises(SimulationError):
             result.mean_access_delay_ms
 
     def test_success_time_accounts_for_wait_to_opportunity(self):
@@ -96,10 +98,24 @@ class TestSimulation:
         expected = 160.0 + config.preamble_ms + config.response_window_ms - 10.0
         assert result.success_times_ms[0] == pytest.approx(expected)
 
+    def test_empty_arrivals_yield_well_formed_empty_result(self):
+        """Zero arrivals is a legitimate runtime outcome (nobody was
+        notified), not a misconfiguration: the simulation reports that
+        nothing contended."""
+        rng = np.random.default_rng(0)
+        result = simulate_rach([], NprachConfig(), rng)
+        assert result.n_devices == 0
+        assert result.success_times_ms.shape == (0,)
+        assert result.attempts.shape == (0,)
+        assert result.failed == ()
+        assert result.success_rate == 1.0
+        assert result.mean_attempts == 0.0
+        # ...but a mean delay over zero successes stays undefined.
+        with pytest.raises(SimulationError):
+            result.mean_access_delay_ms
+
     def test_invalid_arrivals(self):
         rng = np.random.default_rng(0)
-        with pytest.raises(ConfigurationError):
-            simulate_rach([], NprachConfig(), rng)
         with pytest.raises(ConfigurationError):
             simulate_rach([-1.0], NprachConfig(), rng)
         with pytest.raises(ConfigurationError):

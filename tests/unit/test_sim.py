@@ -190,6 +190,22 @@ class TestMonteCarlo:
         narrow = RunStatistics(values=np.array([0.0, 1.0] * 50))
         assert narrow.ci95_halfwidth < wide.ci95_halfwidth
 
+    def test_empty_statistics_raise_instead_of_nan(self):
+        """Zero-run statistics used to return NaN (with a NumPy
+        RuntimeWarning); they now raise like CampaignResult.mean_wait_s
+        does on a result with no outcomes."""
+        import warnings
+
+        stats = RunStatistics(values=np.array([], dtype=np.float64))
+        assert stats.n == 0
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any RuntimeWarning -> failure
+            for reduction in ("mean", "std", "sem", "min", "max"):
+                with pytest.raises(SimulationError):
+                    getattr(stats, reduction)
+            with pytest.raises(SimulationError):
+                stats.ci95_halfwidth
+
     def test_inconsistent_keys_rejected(self):
         harness = MonteCarlo(n_runs=2, seed=1)
         with pytest.raises(ConfigurationError):

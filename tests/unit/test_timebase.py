@@ -189,3 +189,36 @@ class TestFormatting:
         assert format_duration(12.5) == "12.5s"
         assert format_duration(200) == "3m20s"
         assert format_duration(3724) == "1h02m"
+
+
+class TestSingleSourceOfFrameDuration:
+    def test_no_literal_frame_second_conversions_outside_timebase(self):
+        """Grep-style regression guard: frame->seconds conversions must
+        go through repro.timebase (frames_to_seconds and friends), never
+        a hardcoded ``* 0.010``. Literal 10 ms *durations* (e.g. a PO
+        monitor interval default) are fine; multiplying by the literal
+        is the smell this test forbids."""
+        import re
+        from pathlib import Path
+
+        import repro
+
+        package_root = Path(repro.__file__).parent
+        conversion = re.compile(r"(\*\s*0\.010\b)|(\b0\.010\s*\*)")
+        offenders = []
+        for path in sorted(package_root.rglob("*.py")):
+            if "timebase" in path.relative_to(package_root).parts:
+                continue  # the one module allowed to own the constant
+            for line_number, line in enumerate(
+                path.read_text(encoding="utf-8").splitlines(), start=1
+            ):
+                if conversion.search(line):
+                    offenders.append(
+                        f"{path.relative_to(package_root)}:{line_number}: "
+                        f"{line.strip()}"
+                    )
+        assert offenders == [], (
+            "hardcoded frame-duration conversions found; use "
+            "repro.timebase.frames_to_seconds / frames_to_ms instead:\n"
+            + "\n".join(offenders)
+        )
