@@ -44,6 +44,14 @@ from repro.core import (
 )
 from repro.devices import Battery, DeviceCategory, DeviceIdentity, Fleet, NbIotDevice
 from repro.drx import DrxConfig, DrxCycle, FULL_LADDER, NB, pattern_for
+from repro.grouping import (
+    GROUPING_POLICIES,
+    GroupingDecision,
+    GroupingPolicy,
+    PlannedGroup,
+    grouping_policy_by_name,
+    register_grouping_policy,
+)
 from repro.enb import CellConfig, ENodeB
 from repro.energy import EnergyProfile, PowerState, UptimeLedger
 from repro.errors import ReproError
@@ -101,6 +109,13 @@ __all__ = [
     "Transmission",
     "WakeMethod",
     "PlanningContext",
+    # grouping policies
+    "GroupingPolicy",
+    "GroupingDecision",
+    "PlannedGroup",
+    "GROUPING_POLICIES",
+    "grouping_policy_by_name",
+    "register_grouping_policy",
     # devices / drx
     "DeviceIdentity",
     "DeviceCategory",

@@ -16,6 +16,11 @@ Examples::
         --backend process --workers 8
     python -m repro multicell --devices 5000 --cells 4 \
         --weights 0.55,0.25,0.15,0.05 --verify
+    python -m repro grouping list
+    python -m repro scenarios sweep --scenario paper-baseline \
+        --axis grouping=greedy-cover,coverage-stratified,random
+    python -m repro multicell --devices 50000 --cells 8 \
+        --grouping collision-aware
 """
 
 from __future__ import annotations
@@ -95,6 +100,15 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help=f"shorthand for --cache-dir {DEFAULT_CACHE_DIR}",
     )
+    figures.add_argument(
+        "--grouping",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "grouping policy for the windowed mechanism "
+            "(see `grouping list`; default: the paper's greedy cover)"
+        ),
+    )
 
     demo = sub.add_parser("demo", help="run one campaign and print the report")
     demo.add_argument(
@@ -137,6 +151,13 @@ def _build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--row-path", action="store_true",
             help="use the per-device reference executor instead of columnar",
+        )
+        p.add_argument(
+            "--grouping", default=None, metavar="POLICY",
+            help=(
+                "override the selected scenarios' grouping policy "
+                "(see `grouping list`)"
+            ),
         )
 
     run_p = actions.add_parser("run", help="run scenarios and print metrics")
@@ -215,6 +236,23 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the other backend and assert per-cell bit-identity",
     )
+    multicell.add_argument(
+        "--grouping",
+        default=None,
+        metavar="POLICY",
+        help=(
+            "grouping policy each cell plans with "
+            "(see `grouping list`; default: the mechanism's own)"
+        ),
+    )
+
+    grouping = sub.add_parser(
+        "grouping", help="inspect the registered grouping policies"
+    )
+    grouping_actions = grouping.add_subparsers(dest="action", required=True)
+    grouping_actions.add_parser(
+        "list", help="tabulate the registered grouping policies"
+    )
     return parser
 
 
@@ -234,12 +272,57 @@ def _selected_scenarios(args) -> list:
     from repro.scenarios import all_scenarios, scenario
 
     if args.all:
-        return all_scenarios()
-    if args.scenarios:
-        return [scenario(name) for name in args.scenarios]
-    raise SystemExit(
-        "select scenarios with --scenario NAME (repeatable) or --all"
-    )
+        specs = all_scenarios()
+    elif args.scenarios:
+        specs = [scenario(name) for name in args.scenarios]
+    else:
+        raise SystemExit(
+            "select scenarios with --scenario NAME (repeatable) or --all"
+        )
+    return _apply_grouping(specs, getattr(args, "grouping", None))
+
+
+def _apply_grouping(specs: list, grouping: Optional[str]) -> list:
+    """Apply a --grouping override to every selected spec."""
+    if grouping is None:
+        return specs
+    return [spec.with_overrides(grouping=grouping) for spec in specs]
+
+
+def _grouping_list() -> int:
+    from repro.core.registry import MECHANISMS, mechanism_by_name
+    from repro.experiments.reporting import Table, render_table
+    from repro.grouping import GROUPING_POLICIES, grouping_policy_by_name
+
+    defaults = {}
+    for mechanism_name in MECHANISMS:
+        mechanism = mechanism_by_name(mechanism_name)
+        if mechanism.grouping_name is not None:
+            defaults.setdefault(mechanism.grouping_name, []).append(
+                mechanism_name
+            )
+    rows = []
+    for name in GROUPING_POLICIES:
+        policy = grouping_policy_by_name(name)
+        rows.append(
+            (
+                name,
+                "yes" if policy.guarantees_window_po else "no",
+                ",".join(defaults.get(name, [])) or "-",
+                policy.description,
+            )
+        )
+    print(render_table(Table(
+        title="Registered grouping policies",
+        headers=("name", "window-PO guarantee", "default for", "description"),
+        rows=tuple(rows),
+        notes=(
+            "policies without the window-PO guarantee cannot drive dr-sc "
+            "(it has no way to wake a device lacking a window PO); da-sc "
+            "adapts such devices' cycles and dr-si extends their pages.",
+        ),
+    )))
+    return 0
 
 
 def _scenarios_list() -> int:
@@ -250,8 +333,8 @@ def _scenarios_list() -> int:
     table = Table(
         title="Registered scenarios",
         headers=(
-            "name", "devices", "mixture", "mechanism", "payload",
-            "collision", "loss", "cells", "description",
+            "name", "devices", "mixture", "mechanism", "grouping",
+            "payload", "collision", "loss", "cells", "description",
         ),
         rows=tuple(format_spec_row(spec) for spec in all_scenarios()),
     )
@@ -359,7 +442,8 @@ def _scenarios_sweep(args) -> int:
     else:
         from repro.scenarios import all_scenarios
 
-        specs = all_scenarios()  # default: sweep the whole registry
+        # Default: sweep the whole registry.
+        specs = _apply_grouping(all_scenarios(), args.grouping)
     axes = (
         [parse_axis(spec) for spec in args.axes]
         if args.axes
@@ -408,10 +492,15 @@ def _multicell(args) -> int:
     from repro.timebase import format_bytes, format_duration, frames_to_seconds
 
     weights = _parse_weights(args.weights)
+    policy = None
+    if args.grouping is not None:
+        from repro.grouping import grouping_policy_by_name
+
+        policy = grouping_policy_by_name(args.grouping)
     rng = generator_for(args.seed)
     fleet = generate_fleet(args.devices, PAPER_DEFAULT_MIXTURE, rng)
     cells = partition_fleet(fleet, args.cells, rng, weights=weights)
-    entity = CoordinationEntity(mechanism_by_name(args.mechanism))
+    entity = CoordinationEntity(mechanism_by_name(args.mechanism, policy=policy))
     image = FirmwareImage(
         name="multicell-fw", version="1.0.0", size_bytes=args.payload
     )
@@ -495,6 +584,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             config = replace(config, backend=args.backend)
         if args.workers is not None:
             config = replace(config, workers=args.workers)
+        if args.grouping is not None:
+            config = replace(config, grouping=args.grouping)
         cache_dir = args.cache_dir or (DEFAULT_CACHE_DIR if args.cache else None)
         if cache_dir is not None:
             config = replace(config, cache_dir=cache_dir)
@@ -514,6 +605,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "multicell":
         return _multicell(args)
+
+    if args.command == "grouping":
+        return _grouping_list()
 
     if args.command == "demo":
         rng = generator_for(args.seed)

@@ -28,7 +28,12 @@ from repro.core.dr_sc import DrScMechanism
 from repro.core.da_sc import AdaptationStrategy, DaScMechanism
 from repro.core.dr_si import DrSiMechanism
 from repro.core.unicast import UnicastBaseline
-from repro.core.registry import MECHANISMS, mechanism_by_name
+from repro.core.registry import (
+    MECHANISMS,
+    mechanism_by_name,
+    mechanism_factory,
+    register_mechanism,
+)
 
 __all__ = [
     "WakeMethod",
@@ -44,4 +49,6 @@ __all__ = [
     "UnicastBaseline",
     "MECHANISMS",
     "mechanism_by_name",
+    "mechanism_factory",
+    "register_mechanism",
 ]

@@ -4,6 +4,14 @@ All mechanisms implement ``plan(fleet, context, rng) -> MulticastPlan``.
 The :class:`PlanningContext` bundles everything a mechanism may consult:
 the cell configuration (inactivity timer, paging parameters), the
 control-procedure timing model and the payload.
+
+Mechanisms are parameterised by a
+:class:`~repro.grouping.policy.GroupingPolicy`: the policy decides *who
+shares a transmission* (groups plus serving windows), the mechanism
+decides *how each member is woken* for it. Every mechanism defaults to
+the policy that reproduces its paper semantics (greedy window cover for
+DR-SC, one fleet-wide group for DA-SC/DR-SI), so constructing a
+mechanism without a policy is bit-identical to the pre-policy code.
 """
 
 from __future__ import annotations
@@ -11,9 +19,12 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple, TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.grouping.policy import GroupingPolicy
 
 from repro.devices.device import NbIotDevice
 from repro.devices.fleet import Fleet
@@ -103,6 +114,27 @@ class GroupingMechanism(abc.ABC):
     #: True unless the mechanism temporarily modifies device DRX cycles.
     respects_preferred_drx: bool = True
 
+    def __init__(self, policy: Optional["GroupingPolicy"] = None) -> None:
+        self._policy = policy if policy is not None else self._default_policy()
+
+    @property
+    def policy(self) -> Optional["GroupingPolicy"]:
+        """The grouping policy in force (None for policy-free baselines)."""
+        return self._policy
+
+    def _default_policy(self) -> Optional["GroupingPolicy"]:
+        """The policy reproducing this mechanism's paper semantics.
+
+        Subclasses override; the unicast baseline keeps ``None`` (each
+        device is its own group by definition, no policy consulted).
+        """
+        return None
+
+    @property
+    def grouping_name(self) -> Optional[str]:
+        """Registry name of the policy in force (recorded on plans)."""
+        return self._policy.name if self._policy is not None else None
+
     @abc.abstractmethod
     def plan(
         self,
@@ -115,6 +147,19 @@ class GroupingMechanism(abc.ABC):
     # ------------------------------------------------------------------
     # Shared helpers for subclasses
     # ------------------------------------------------------------------
+    @staticmethod
+    def _groups_in_time_order(decision) -> list:
+        """A decision's groups renumbered into campaign-timeline order.
+
+        Policies return groups in selection order; transmission indices
+        must follow the timeline. The stable sort preserves selection
+        order among groups sharing a window (collision-aware splits).
+        """
+        order = np.argsort(
+            [group.window.end for group in decision.groups], kind="stable"
+        )
+        return [decision.groups[i] for i in order]
+
     def _build_transmission(
         self,
         index: int,

@@ -43,6 +43,8 @@ from repro.drx.cycles import DrxCycle
 from repro.drx.paging import pattern_for
 from repro.drx.schedule import PoSchedule
 from repro.errors import PlanError
+from repro.grouping.policies import SingleGroupPolicy
+from repro.grouping.policy import GroupingPolicy
 
 
 class AdaptationStrategy(Enum):
@@ -66,9 +68,15 @@ class DaScMechanism(GroupingMechanism):
     respects_preferred_drx = False
 
     def __init__(
-        self, strategy: AdaptationStrategy = AdaptationStrategy.PAPER
+        self,
+        strategy: AdaptationStrategy = AdaptationStrategy.PAPER,
+        policy: Optional[GroupingPolicy] = None,
     ) -> None:
+        super().__init__(policy)
         self._strategy = strategy
+
+    def _default_policy(self) -> GroupingPolicy:
+        return SingleGroupPolicy()
 
     @property
     def strategy(self) -> AdaptationStrategy:
@@ -81,51 +89,67 @@ class DaScMechanism(GroupingMechanism):
         context: PlanningContext,
         rng: Optional[np.random.Generator] = None,
     ) -> MulticastPlan:
-        """Plan the single synchronised transmission at t = announce + 2*maxDRX."""
+        """Plan one synchronised transmission per policy group.
+
+        Under the default single-group policy this is Sec. III-B
+        verbatim: one transmission at ``t = announce + 2 * maxDRX``.
+        Other policies yield one transmission per group; members with a
+        PO inside their group's window are paged normally, the rest go
+        through the DRX-adaptation episode relative to that window.
+        """
         ti = context.inactivity_timer_frames
-        t = context.announce_frame + 2 * int(fleet.max_cycle)
-        window_start = t - ti + 1  # POs in [t - TI, t) -> frames [t-TI+1, t]?
+        decision = self._policy.group(fleet, context, rng)
 
         # The paper's window is the half-open [t - TI, t); with the
         # transmission at frame t itself, a device paged at frame p in
         # the window waits t - p < TI so its inactivity timer never
         # expires before the data starts. We therefore accept POs in
         # [t - TI, t - 1] and page as late as slack allows.
-        window_lo = t - ti
-        window_hi = t - 1
-
+        transmissions = []
         directives: List[DeviceDirective] = []
-        for device_index, device in enumerate(fleet):
-            schedule = device.schedule
-            slack = context.connect_slack_frames(device)
-            last_window_po = schedule.last_at_or_before(window_hi)
-            if last_window_po is not None and last_window_po >= window_lo:
-                page_frame = self._page_frame_in_window(
-                    schedule, window_lo, window_hi, slack
-                )
+        for group_index, group in enumerate(self._groups_in_time_order(decision)):
+            t = group.window.end
+            window_lo = group.window.start
+            window_hi = t - 1
+            for device_index in (int(i) for i in group.members):
+                device = fleet[device_index]
+                schedule = device.schedule
+                slack = context.connect_slack_frames(device)
+                last_window_po = schedule.last_at_or_before(window_hi)
+                if last_window_po is not None and last_window_po >= window_lo:
+                    page_frame = self._page_frame_in_window(
+                        schedule, window_lo, window_hi, slack
+                    )
+                    directives.append(
+                        DeviceDirective(
+                            device_index=device_index,
+                            transmission_index=group_index,
+                            method=WakeMethod.PAGED_IN_WINDOW,
+                            page_frame=page_frame,
+                            connect_frame=page_frame,
+                        )
+                    )
+                    continue
                 directives.append(
-                    DeviceDirective(
-                        device_index=device_index,
-                        transmission_index=0,
-                        method=WakeMethod.PAGED_IN_WINDOW,
-                        page_frame=page_frame,
-                        connect_frame=page_frame,
+                    self._adaptation_directive(
+                        device_index,
+                        device,
+                        group_index,
+                        window_lo,
+                        window_hi,
+                        context,
                     )
                 )
-                continue
-            directives.append(
-                self._adaptation_directive(
-                    device_index, device, window_lo, window_hi, context
+            transmissions.append(
+                self._build_transmission(
+                    index=group_index,
+                    frame=t,
+                    device_indices=[int(i) for i in group.members],
+                    fleet=fleet,
+                    payload_bytes=context.payload_bytes,
                 )
             )
 
-        transmission = self._build_transmission(
-            index=0,
-            frame=t,
-            device_indices=list(range(len(fleet))),
-            fleet=fleet,
-            payload_bytes=context.payload_bytes,
-        )
         return MulticastPlan(
             mechanism=self.name,
             standards_compliant=self.standards_compliant,
@@ -133,8 +157,9 @@ class DaScMechanism(GroupingMechanism):
             announce_frame=context.announce_frame,
             inactivity_timer_frames=ti,
             payload_bytes=context.payload_bytes,
-            transmissions=(transmission,),
+            transmissions=tuple(transmissions),
             directives=tuple(directives),
+            grouping=self.grouping_name,
         )
 
     # ------------------------------------------------------------------
@@ -144,6 +169,7 @@ class DaScMechanism(GroupingMechanism):
         self,
         device_index: int,
         device: NbIotDevice,
+        transmission_index: int,
         window_lo: int,
         window_hi: int,
         context: PlanningContext,
@@ -167,7 +193,7 @@ class DaScMechanism(GroupingMechanism):
         )
         return DeviceDirective(
             device_index=device_index,
-            transmission_index=0,
+            transmission_index=transmission_index,
             method=WakeMethod.DRX_ADAPTATION,
             page_frame=window_po,
             connect_frame=window_po,

@@ -2,13 +2,18 @@
 
 The mechanism never touches device cycles: devices "share a multicast
 transmission only if their POs happen to be closer in time than TI".
-Covering all devices with the fewest TI-windows is the NP-hard set cover
-problem, approximated greedily (Chvátal): repeatedly pick the TI-window
+Which devices share a window is a *policy* decision
+(:mod:`repro.grouping`): the default
+:class:`~repro.grouping.policies.GreedyCoverPolicy` is the paper's
+greedy set cover (Chvátal) over TI-windows — repeatedly pick the window
 containing POs of the most not-yet-updated devices, schedule a
 transmission at the window's last frame, remove the covered devices,
-repeat (Fig. 4). The PO pattern of the whole fleet repeats with period
-``max cycle`` (every ladder cycle divides the longest one), so searching
-the paper's horizon of twice the largest DRX cycle suffices.
+repeat (Fig. 4). Alternative policies (exact cover, collision-aware
+splitting, coverage stratification, random windows) swap in without
+touching the mechanism, but every policy must guarantee that each group
+member has a PO inside its group's window under its *preferred* cycle —
+DR-SC cannot adapt cycles, so it rejects policies (like single-group)
+that cannot promise that.
 
 Trade-off: zero extra light-sleep energy, but many transmissions —
 Fig. 7 shows the count stays a large fraction of plain unicast, which
@@ -24,16 +29,29 @@ import numpy as np
 from repro.core.base import GroupingMechanism, PlanningContext
 from repro.core.plan import DeviceDirective, MulticastPlan, WakeMethod
 from repro.devices.fleet import Fleet
-from repro.drx.schedule import PoSchedule
-from repro.setcover.greedy import greedy_window_cover
+from repro.errors import ConfigurationError
+from repro.grouping.policies import GreedyCoverPolicy
+from repro.grouping.policy import GroupingPolicy
 
 
 class DrScMechanism(GroupingMechanism):
-    """Greedy TI-window set cover over untouched DRX schedules."""
+    """Window-paged grouping over untouched DRX schedules."""
 
     name = "dr-sc"
     standards_compliant = True
     respects_preferred_drx = True
+
+    def __init__(self, policy: Optional[GroupingPolicy] = None) -> None:
+        super().__init__(policy)
+        if not self._policy.guarantees_window_po:
+            raise ConfigurationError(
+                f"dr-sc cannot use grouping policy {self._policy.name!r}: "
+                "it does not guarantee every member a PO inside its group "
+                "window, and dr-sc cannot adapt cycles to create one"
+            )
+
+    def _default_policy(self) -> GroupingPolicy:
+        return GreedyCoverPolicy()
 
     def plan(
         self,
@@ -41,37 +59,26 @@ class DrScMechanism(GroupingMechanism):
         context: PlanningContext,
         rng: Optional[np.random.Generator] = None,
     ) -> MulticastPlan:
-        """Cover the fleet with greedy TI-windows.
+        """Turn the policy's grouping into a window-paged plan.
 
-        ``rng`` drives the paper's random tie-breaking between equally
-        good windows; passing None makes planning deterministic
+        ``rng`` drives the policy's randomness (for the default greedy
+        cover, the paper's random tie-breaking between equally good
+        windows); passing None makes the default planning deterministic
         (earliest window wins ties).
         """
         ti = context.inactivity_timer_frames
-        horizon_start = context.announce_frame
-        horizon_end = horizon_start + 2 * int(fleet.max_cycle)
+        decision = self._policy.group(fleet, context, rng)
 
-        cover = greedy_window_cover(
-            fleet.phases,
-            fleet.periods,
-            window_len=ti,
-            horizon_start=horizon_start,
-            horizon_end=horizon_end,
-            rng=rng,
-        )
-
-        # The greedy returns windows in coverage order; renumber them in
+        # Policies return groups in selection order; renumber them in
         # time order so transmission indices follow the campaign timeline.
-        order = np.argsort([w.last_frame for w in cover.windows], kind="stable")
         transmissions = []
         directives: List[DeviceDirective] = []
-        for new_index, old_index in enumerate(order):
-            window = cover.windows[old_index]
-            members = cover.assignments[old_index]
+        for new_index, group in enumerate(self._groups_in_time_order(decision)):
+            window = group.window
             transmission = self._build_transmission(
                 index=new_index,
                 frame=window.last_frame,
-                device_indices=[int(i) for i in members],
+                device_indices=[int(i) for i in group.members],
                 fleet=fleet,
                 payload_bytes=context.payload_bytes,
             )
@@ -103,4 +110,5 @@ class DrScMechanism(GroupingMechanism):
             payload_bytes=context.payload_bytes,
             transmissions=tuple(transmissions),
             directives=tuple(directives),
+            grouping=self.grouping_name,
         )

@@ -30,6 +30,8 @@ from repro.core.base import GroupingMechanism, PlanningContext
 from repro.core.plan import DeviceDirective, MulticastPlan, WakeMethod
 from repro.devices.fleet import Fleet
 from repro.errors import ConfigurationError, PlanError
+from repro.grouping.policies import SingleGroupPolicy
+from repro.grouping.policy import GroupingPolicy
 from repro.rrc.timers import T322Timer
 
 
@@ -40,13 +42,22 @@ class DrSiMechanism(GroupingMechanism):
     standards_compliant = False
     respects_preferred_drx = True
 
+    def _default_policy(self) -> GroupingPolicy:
+        return SingleGroupPolicy()
+
     def plan(
         self,
         fleet: Fleet,
         context: PlanningContext,
         rng: Optional[np.random.Generator] = None,
     ) -> MulticastPlan:
-        """Plan the single transmission at t = announce + 2*maxDRX.
+        """Plan one transmission per policy group.
+
+        Under the default single-group policy this is Sec. III-C
+        verbatim: one transmission at ``t = announce + 2 * maxDRX``.
+        Members with a PO inside their group's window are paged at it;
+        the rest receive the ``mltc-transmission`` extension at an
+        earlier PO and self-wake when T322 expires.
 
         ``rng`` draws each notified device's uniform T322 expiry inside
         the window; it is required because the random wake time is part
@@ -58,60 +69,66 @@ class DrSiMechanism(GroupingMechanism):
                 "within [t - TI, t)"
             )
         ti = context.inactivity_timer_frames
-        t = context.announce_frame + 2 * int(fleet.max_cycle)
-        window_lo = t - ti
-        window_hi = t - 1
+        decision = self._policy.group(fleet, context, rng)
 
+        transmissions = []
         directives: List[DeviceDirective] = []
-        for device_index, device in enumerate(fleet):
-            schedule = device.schedule
-            slack = context.connect_slack_frames(device)
-            last_window_po = schedule.last_at_or_before(window_hi)
-            if last_window_po is not None and last_window_po >= window_lo:
-                page_frame = self._page_frame_in_window(
-                    schedule, window_lo, window_hi, slack
-                )
+        for group_index, group in enumerate(self._groups_in_time_order(decision)):
+            t = group.window.end
+            window_lo = group.window.start
+            window_hi = t - 1
+            for device_index in (int(i) for i in group.members):
+                device = fleet[device_index]
+                schedule = device.schedule
+                slack = context.connect_slack_frames(device)
+                last_window_po = schedule.last_at_or_before(window_hi)
+                if last_window_po is not None and last_window_po >= window_lo:
+                    page_frame = self._page_frame_in_window(
+                        schedule, window_lo, window_hi, slack
+                    )
+                    directives.append(
+                        DeviceDirective(
+                            device_index=device_index,
+                            transmission_index=group_index,
+                            method=WakeMethod.PAGED_IN_WINDOW,
+                            page_frame=page_frame,
+                            connect_frame=page_frame,
+                        )
+                    )
+                    continue
+
+                # Extended page at the device's first PO after the announce:
+                # "notify the devices well in advance of the time of the
+                # multicast transmission".
+                page_frame = schedule.first_at_or_after(context.announce_frame)
+                if page_frame >= window_lo:
+                    raise PlanError(
+                        f"device {device_index}: first PO {page_frame} already "
+                        "inside the window despite having no window PO"
+                    )  # pragma: no cover - unreachable by construction
+                wake_frame = int(rng.integers(window_lo, window_hi + 1))
                 directives.append(
                     DeviceDirective(
                         device_index=device_index,
-                        transmission_index=0,
-                        method=WakeMethod.PAGED_IN_WINDOW,
+                        transmission_index=group_index,
+                        method=WakeMethod.EXTENDED_PAGE_TIMER,
                         page_frame=page_frame,
-                        connect_frame=page_frame,
+                        connect_frame=wake_frame,
+                        t322=T322Timer(
+                            armed_at_frame=page_frame, expires_at_frame=wake_frame
+                        ),
                     )
                 )
-                continue
-
-            # Extended page at the device's first PO after the announce:
-            # "notify the devices well in advance of the time of the
-            # multicast transmission".
-            page_frame = schedule.first_at_or_after(context.announce_frame)
-            if page_frame >= window_lo:
-                raise PlanError(
-                    f"device {device_index}: first PO {page_frame} already "
-                    "inside the window despite having no window PO"
-                )  # pragma: no cover - unreachable by construction
-            wake_frame = int(rng.integers(window_lo, window_hi + 1))
-            directives.append(
-                DeviceDirective(
-                    device_index=device_index,
-                    transmission_index=0,
-                    method=WakeMethod.EXTENDED_PAGE_TIMER,
-                    page_frame=page_frame,
-                    connect_frame=wake_frame,
-                    t322=T322Timer(
-                        armed_at_frame=page_frame, expires_at_frame=wake_frame
-                    ),
+            transmissions.append(
+                self._build_transmission(
+                    index=group_index,
+                    frame=t,
+                    device_indices=[int(i) for i in group.members],
+                    fleet=fleet,
+                    payload_bytes=context.payload_bytes,
                 )
             )
 
-        transmission = self._build_transmission(
-            index=0,
-            frame=t,
-            device_indices=list(range(len(fleet))),
-            fleet=fleet,
-            payload_bytes=context.payload_bytes,
-        )
         return MulticastPlan(
             mechanism=self.name,
             standards_compliant=self.standards_compliant,
@@ -119,6 +136,7 @@ class DrSiMechanism(GroupingMechanism):
             announce_frame=context.announce_frame,
             inactivity_timer_frames=ti,
             payload_bytes=context.payload_bytes,
-            transmissions=(transmission,),
+            transmissions=tuple(transmissions),
             directives=tuple(directives),
+            grouping=self.grouping_name,
         )

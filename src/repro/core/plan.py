@@ -167,6 +167,8 @@ class MulticastPlan:
         payload_bytes: multicast payload size.
         transmissions: scheduled transmissions, ordered by frame.
         directives: one directive per fleet device (any order).
+        grouping: registry name of the grouping policy that formed the
+            groups (None for policy-free baselines such as unicast).
     """
 
     mechanism: str
@@ -177,6 +179,7 @@ class MulticastPlan:
     payload_bytes: int
     transmissions: Tuple[Transmission, ...]
     directives: Tuple[DeviceDirective, ...]
+    grouping: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Summaries

@@ -23,7 +23,12 @@ from repro.devices.fleet import Fleet
 
 
 class UnicastBaseline(GroupingMechanism):
-    """One transmission per device at its first paging opportunity."""
+    """One transmission per device at its first paging opportunity.
+
+    Grouping is degenerate here — every device is its own group by
+    definition — so the baseline accepts (and ignores) a grouping
+    policy purely for constructor symmetry with the real mechanisms.
+    """
 
     name = "unicast"
     standards_compliant = True
@@ -38,12 +43,15 @@ class UnicastBaseline(GroupingMechanism):
         """Page every device at its first PO and serve it immediately."""
         transmissions = []
         directives: List[DeviceDirective] = []
-        order = sorted(
-            range(len(fleet)),
-            key=lambda i: fleet[i].schedule.first_at_or_after(
-                context.announce_frame
-            ),
-        )
+        # Order by realised transmission start (page + connect slack),
+        # page frame as tie-break, so transmission indices follow the
+        # campaign timeline even in mixed-coverage fleets where a later
+        # page with less slack can start earlier.
+        def _start_key(i: int) -> tuple:
+            page = fleet[i].schedule.first_at_or_after(context.announce_frame)
+            return (page + context.connect_slack_frames(fleet[i]), page)
+
+        order = sorted(range(len(fleet)), key=_start_key)
         for index, device_index in enumerate(order):
             device = fleet[device_index]
             page_frame = device.schedule.first_at_or_after(context.announce_frame)

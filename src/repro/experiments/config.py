@@ -33,10 +33,15 @@ class ExperimentConfig:
     columnar executor and incremental cover keep sweeps practical at
     10^4-10^5 devices (``python -m repro figures --figure 7
     --device-counts 1000,10000,100000``).
+
+    ``grouping`` swaps the windowed mechanism's grouping policy (see
+    :data:`repro.grouping.GROUPING_POLICIES`); None keeps the paper's
+    greedy cover, so existing figure numbers are unchanged.
     """
 
     mixture: TrafficMixture = PAPER_DEFAULT_MIXTURE
     inactivity_timer_s: float = 20.48
+    grouping: Optional[str] = None
     n_devices: int = 500
     device_counts: Tuple[int, ...] = (
         100, 200, 300, 400, 500, 600, 700, 800, 900, 1000,
@@ -75,6 +80,14 @@ class ExperimentConfig:
             raise ConfigurationError(
                 f"workers must be >= 1, got {self.workers}"
             )
+        if self.grouping is not None:
+            # Instantiate the pairing the figure experiments will build
+            # (DR-SC carries the policy), so an unknown name or an
+            # incompatible policy (e.g. single-group) fails at config
+            # creation rather than deep inside a Monte-Carlo worker.
+            from repro.core.dr_sc import DrScMechanism
+
+            DrScMechanism(policy=self.grouping_policy())
 
     @property
     def cell(self) -> CellConfig:
@@ -111,6 +124,14 @@ class ExperimentConfig:
         for execution_only in ("backend", "workers", "cache_dir"):
             scenario.pop(execution_only, None)
         return fingerprint(scenario)
+
+    def grouping_policy(self):
+        """The resolved grouping policy (None = mechanism defaults)."""
+        if self.grouping is None:
+            return None
+        from repro.grouping.registry import grouping_policy_by_name
+
+        return grouping_policy_by_name(self.grouping)
 
     def result_cache(self) -> Optional[ResultCache]:
         """The configured on-disk cache, or None when caching is off."""

@@ -7,6 +7,7 @@ from typing import Dict, List, Optional
 
 from repro.experiments.ablations import (
     run_dasc_strategy_ablation,
+    run_grouping_policy_ablation,
     run_mixture_sensitivity,
     run_scptm_comparison,
     run_setcover_quality,
@@ -19,7 +20,7 @@ from repro.experiments.transmissions import run_fig7
 from repro.experiments.uptime import FIG6_MECHANISMS, run_fig6a, run_fig6b
 
 #: Figure/ablation ids accepted by :func:`run`.
-KNOWN_TARGETS = ("6a", "6b", "7", "a1", "a2", "a3", "a4", "a5")
+KNOWN_TARGETS = ("6a", "6b", "7", "a1", "a2", "a3", "a4", "a5", "a6")
 
 
 def run(
@@ -83,6 +84,12 @@ def run_with_charts(
         tables["a4"], _ = run_mixture_sensitivity(config)
     if "a5" in selected:
         tables["a5"] = run_scptm_comparison()
+    if "a6" in selected:
+        tables["a6"], _ = run_grouping_policy_ablation(
+            backend=config.backend,
+            workers=config.workers,
+            cache=config.result_cache(),
+        )
     return tables, charts
 
 

@@ -30,7 +30,9 @@ def transmissions_once(
     """
     fleet = generate_fleet(n_devices, config.mixture, rng)
     context = config.planning_context(config.default_payload)
-    plan = DrScMechanism().plan(fleet, context, rng)
+    plan = DrScMechanism(policy=config.grouping_policy()).plan(
+        fleet, context, rng
+    )
     largest = max(t.group_size for t in plan.transmissions)
     return {
         "transmissions": float(plan.n_transmissions),

@@ -33,8 +33,14 @@ from repro.traffic.generator import generate_fleet
 FIG6_MECHANISMS = ("dr-sc", "da-sc", "dr-si")
 
 
-def _mechanisms() -> List[GroupingMechanism]:
-    return [DrScMechanism(), DaScMechanism(), DrSiMechanism()]
+def _mechanisms(
+    config: Optional[ExperimentConfig] = None,
+) -> List[GroupingMechanism]:
+    # config.grouping only retargets the windowed mechanism: DA-SC and
+    # DR-SI keep their paper semantics (one fleet-wide group) so the
+    # Fig. 6 comparison stays a mechanism comparison, not a policy one.
+    policy = config.grouping_policy() if config is not None else None
+    return [DrScMechanism(policy=policy), DaScMechanism(), DrSiMechanism()]
 
 
 def compare_mechanisms_once(
@@ -53,7 +59,7 @@ def compare_mechanisms_once(
     context = config.planning_context(payload_bytes)
     executor = CampaignExecutor(timings=config.timings)
 
-    plans = {m.name: m.plan(fleet, context, rng) for m in _mechanisms()}
+    plans = {m.name: m.plan(fleet, context, rng) for m in _mechanisms(config)}
     plans["unicast"] = UnicastBaseline().plan(fleet, context, rng)
 
     # Execute everything over one common horizon for comparability.

@@ -17,7 +17,6 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.registry import mechanism_by_name
 from repro.experiments.reporting import Table
 from repro.multicast.coordination import CoordinationEntity, partition_fleet
 from repro.multicast.reliability import simulate_repair_rounds
@@ -57,9 +56,7 @@ def _multi_cell_run(
         fleet, spec.cells.n_cells, rng, weights=spec.cells.weights
     )
     executor = CampaignExecutor(timings=spec.timings(), columnar=columnar)
-    entity = CoordinationEntity(
-        mechanism_by_name(spec.mechanism), executor=executor
-    )
+    entity = CoordinationEntity(spec.mechanism_obj(), executor=executor)
     rollout_seed = int(rng.integers(0, 2**32))
     report = entity.rollout(
         cells, spec.image(), spec.planning_context(), seed=rollout_seed
@@ -114,7 +111,7 @@ def scenario_run(
     )
     if spec.cells.is_multi_cell:
         return _multi_cell_run(rng, spec, fleet, columnar)
-    mechanism = mechanism_by_name(spec.mechanism)
+    mechanism = spec.mechanism_obj()
     plan = mechanism.plan(fleet, spec.planning_context(), rng)
     executor = CampaignExecutor(timings=spec.timings(), columnar=columnar)
     result = executor.execute(fleet, plan, rng=rng)
@@ -227,6 +224,7 @@ def format_spec_row(spec: ScenarioSpec) -> Tuple[str, ...]:
         str(fields["devices"]),
         str(fields["mixture"]),
         str(fields["mechanism"]),
+        str(fields["grouping"]),
         format_bytes(int(fields["payload"])),
         f"{fields['collision']:.2f}",
         f"{fields['loss']:.2f}",

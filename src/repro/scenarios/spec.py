@@ -20,8 +20,8 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from repro.core.base import PlanningContext
-from repro.core.registry import MECHANISMS
 from repro.devices.battery import Battery
+from repro.grouping.registry import grouping_policy_factory
 from repro.enb.cell import CellConfig
 from repro.errors import ConfigurationError
 from repro.multicast.coordination import MultiCellSpec
@@ -46,7 +46,13 @@ class ScenarioSpec:
         mixture: traffic-mixture name (see :data:`repro.traffic.MIXTURES`).
         coverage: coverage-class shares of the fleet.
         mechanism: grouping mechanism name (``dr-sc``/``da-sc``/``dr-si``/
-            ``unicast``).
+            ``unicast``, or any name added via
+            :func:`repro.core.registry.register_mechanism`).
+        grouping: grouping-policy name (see
+            :data:`repro.grouping.GROUPING_POLICIES`), or None for the
+            mechanism's own default (greedy cover for ``dr-sc``, a
+            single fleet-wide group for ``da-sc``/``dr-si``) — the
+            bit-identical paper semantics.
         payload_bytes: firmware image size delivered per campaign.
         inactivity_timer_s: the TI window length.
         ra_collision_probability: per-attempt RACH collision probability
@@ -71,6 +77,7 @@ class ScenarioSpec:
     mixture: str = "paper-default"
     coverage: CoverageMix = CoverageMix()
     mechanism: str = "dr-sc"
+    grouping: Optional[str] = None
     payload_bytes: int = 1_000_000
     inactivity_timer_s: float = 20.48
     ra_collision_probability: float = 0.0
@@ -91,11 +98,12 @@ class ScenarioSpec:
             raise ConfigurationError(
                 f"n_devices must be >= 1, got {self.n_devices}"
             )
-        if self.mechanism not in MECHANISMS:
-            raise ConfigurationError(
-                f"unknown mechanism {self.mechanism!r}; "
-                f"available: {sorted(MECHANISMS)}"
-            )
+        # Route both names through the registries, so dynamically
+        # registered mechanisms and grouping policies validate too —
+        # and instantiate the pairing, so an incompatible combination
+        # (e.g. dr-sc x single-group) fails at spec creation rather
+        # than deep inside a sweep's Monte-Carlo worker.
+        self.mechanism_obj()  # raises on unknown names / bad pairings
         mixture_by_name(self.mixture)  # raises on unknown names
         if self.payload_bytes < 1:
             raise ConfigurationError(
@@ -122,6 +130,18 @@ class ScenarioSpec:
     def mixture_obj(self) -> TrafficMixture:
         """The resolved traffic mixture."""
         return mixture_by_name(self.mixture)
+
+    def grouping_policy(self):
+        """The resolved grouping policy (None = mechanism default)."""
+        if self.grouping is None:
+            return None
+        return grouping_policy_factory(self.grouping)()
+
+    def mechanism_obj(self):
+        """The mechanism instance, carrying this spec's grouping policy."""
+        from repro.core.registry import mechanism_by_name
+
+        return mechanism_by_name(self.mechanism, policy=self.grouping_policy())
 
     def timings(self) -> ProcedureTimings:
         """Control-plane timings with this scenario's RACH stress."""
@@ -188,6 +208,7 @@ class ScenarioSpec:
             "devices": self.n_devices,
             "mixture": self.mixture,
             "mechanism": self.mechanism,
+            "grouping": self.grouping or "default",
             "payload": self.payload_bytes,
             "collision": self.ra_collision_probability,
             "loss": self.segment_loss_probability,

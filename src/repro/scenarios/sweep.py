@@ -25,9 +25,11 @@ from repro.sim.montecarlo import RunStatistics
 from repro.sim.parallel import ResultCache
 from repro.timebase import format_bytes
 
-#: CLI axis aliases -> ScenarioSpec field names. Only numeric stress
-#: axes are sweepable; identity fields (name, mechanism, mixture) make
-#: a *different scenario*, not a point on an axis.
+#: CLI axis aliases -> ScenarioSpec field names. Stress axes plus the
+#: grouping-policy axis are sweepable; identity fields (name, mechanism,
+#: mixture) make a *different scenario*, not a point on an axis —
+#: grouping is an axis because every policy answers the same question
+#: ("who shares a transmission?") for the same scenario.
 AXIS_FIELDS: Dict[str, str] = {
     "devices": "n_devices",
     "payload": "payload_bytes",
@@ -35,9 +37,13 @@ AXIS_FIELDS: Dict[str, str] = {
     "collision": "ra_collision_probability",
     "loss": "segment_loss_probability",
     "cells": "cells",
+    "grouping": "grouping",
     "runs": "n_runs",
     "seed": "seed",
 }
+
+#: Axes whose values are registry names, not numbers.
+_STRING_AXES = frozenset({"grouping"})
 
 #: Axes whose numeric CLI value must be wrapped into a richer spec
 #: field. A ``cells`` sweep varies the uniform cell count (sweeping the
@@ -87,8 +93,18 @@ class SweepCell:
     @property
     def label(self) -> str:
         """Human-readable cell id (``name[axis=value,...]``)."""
-        coords = ",".join(f"{axis}={value:g}" for axis, value in self.coordinates)
+        coords = ",".join(
+            f"{axis}={_format_axis_value(value)}"
+            for axis, value in self.coordinates
+        )
         return f"{self.base_name}[{coords}]"
+
+
+def _format_axis_value(value: Any) -> str:
+    """Compact rendering of one axis value (numeric or registry name)."""
+    if isinstance(value, (int, float)):
+        return f"{value:g}"
+    return str(value)
 
 
 def parse_axis(spec: str) -> SweepAxis:
@@ -104,6 +120,9 @@ def parse_axis(spec: str) -> SweepAxis:
     for part in values_part.split(","):
         part = part.strip()
         if not part:
+            continue
+        if name in _STRING_AXES:
+            values.append(part)
             continue
         number = float(part)
         if field in ("n_devices", "payload_bytes", "cells", "n_runs", "seed"):
@@ -182,7 +201,7 @@ def sweep_table(
         axis_cells = tuple(
             format_bytes(int(coords[name]))
             if name == "payload"
-            else f"{coords[name]:g}"
+            else _format_axis_value(coords[name])
             for name in axis_names
         )
         rows.append(

@@ -39,7 +39,12 @@ from repro.errors import PagingError, SimulationError
 from repro.rrc.procedures import ProcedureTimings
 from repro.sim.executor import CampaignExecutor
 from repro.sim.metrics import CampaignResult, FleetOutcomes
-from repro.timebase import FRAMES_PER_HYPERFRAME, MS_PER_FRAME, frames_to_seconds
+from repro.timebase import (
+    FRAMES_PER_HYPERFRAME,
+    MS_PER_FRAME,
+    frames_to_seconds,
+    v_frame_after_seconds,
+)
 
 _NORMAL, _ADAPTATION, _EXTENDED = 0, 1, 2
 
@@ -54,16 +59,6 @@ _METHOD_CODES = {
 def _v_frames_to_seconds(frames: np.ndarray) -> np.ndarray:
     """Vectorised :func:`repro.timebase.frames_to_seconds` (bit-identical)."""
     return frames * MS_PER_FRAME / 1000.0
-
-
-def _v_frame_after(times_s: np.ndarray) -> np.ndarray:
-    """Vectorised executor frame rounding (nearest-ms, then exact ceil).
-
-    ``np.rint`` rounds half to even exactly like the scalar
-    :func:`repro.timebase.seconds_to_nearest_ms`.
-    """
-    ms = np.rint(times_s * 1000.0).astype(np.int64)
-    return -((-ms) // MS_PER_FRAME)
 
 
 def _v_count_in(
@@ -191,7 +186,7 @@ def execute_columnar(
 
     adapt_busy_end = np.zeros(n, dtype=np.int64)
     if np.any(is_da):
-        adapt_busy_end[is_da] = _v_frame_after(
+        adapt_busy_end[is_da] = v_frame_after_seconds(
             _v_frames_to_seconds(adapt_frame[is_da])
             + airtime.paging_message_s
             + episode[is_da]
@@ -240,7 +235,7 @@ def execute_columnar(
 
     # Idle-PO counts (the light-sleep grid), all integer arithmetic.
     main_busy_start = np.where(is_ept, connect_frame, page_frame)
-    main_busy_end = _v_frame_after(main_end)
+    main_busy_end = v_frame_after_seconds(main_end)
     announce = plan.announce_frame
     po_count = _v_count_in(
         phases, periods, np.full(n, announce, dtype=np.int64), np.full(n, horizon, dtype=np.int64)

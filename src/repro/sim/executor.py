@@ -40,25 +40,7 @@ from repro.energy.states import PowerState
 from repro.errors import SimulationError
 from repro.rrc.procedures import ProcedureTimings
 from repro.sim.metrics import CampaignResult, DeviceOutcome
-from repro.timebase import (
-    frame_at_or_after_ms,
-    frames_to_seconds,
-    seconds_to_nearest_ms,
-)
-
-def _frame_after(time_s: float) -> int:
-    """First frame boundary at or after ``time_s`` on the subframe grid.
-
-    The instant is snapped to the nearest integer millisecond (the 1 ms
-    subframe is the radio timeline's physical granularity) and the frame
-    index is then an exact integer ceiling — so the rounding cannot
-    drift however long the horizon grows. Snapping means an instant less
-    than half a subframe past a frame boundary resolves to that
-    boundary; all control-plane durations are whole milliseconds, so
-    only modelling artifacts (fractional-ms payload airtimes, random
-    backoffs) are affected, and all three executors share this helper.
-    """
-    return frame_at_or_after_ms(seconds_to_nearest_ms(time_s))
+from repro.timebase import frame_after_seconds, frames_to_seconds
 
 
 class CampaignExecutor:
@@ -149,7 +131,7 @@ class CampaignExecutor:
                 episode = self._timings.adaptation_episode_s(device.coverage, rng)
                 timeline.adaptation_paging_s = airtime.paging_message_s
                 timeline.adaptation_episode_s = episode
-                timeline.adaptation_busy_end_f = _frame_after(
+                timeline.adaptation_busy_end_f = frame_after_seconds(
                     adaptation_s + airtime.paging_message_s + episode
                 )
             if directive.method is WakeMethod.EXTENDED_PAGE_TIMER:
@@ -278,7 +260,7 @@ class CampaignExecutor:
 
     @staticmethod
     def _resolve_horizon(horizon_frames: Optional[int], end_s: float) -> int:
-        needed = _frame_after(end_s) + 1
+        needed = frame_after_seconds(end_s) + 1
         if horizon_frames is None:
             return needed
         if horizon_frames < needed:
@@ -303,7 +285,7 @@ class CampaignExecutor:
             if directive.method is WakeMethod.EXTENDED_PAGE_TIMER
             else directive.page_frame
         )
-        main_busy_end = _frame_after(timeline.main_end_s)
+        main_busy_end = frame_after_seconds(timeline.main_end_s)
 
         if directive.method is WakeMethod.DRX_ADAPTATION:
             adapted = pattern_for(

@@ -29,9 +29,8 @@ from repro.errors import SimulationError
 from repro.rrc.procedures import ProcedureTimings
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventKind
-from repro.sim.executor import _frame_after
 from repro.sim.metrics import CampaignResult, DeviceOutcome
-from repro.timebase import frames_to_seconds
+from repro.timebase import frame_after_seconds, frames_to_seconds
 
 #: TX_START must sort after CONNECTION_READY at the same instant.
 _PRIORITY_READY = 0
@@ -121,7 +120,7 @@ class EventDrivenCampaign:
 
     @staticmethod
     def _resolve_horizon(horizon_frames: Optional[int], end_s: float) -> int:
-        needed = _frame_after(end_s) + 1
+        needed = frame_after_seconds(end_s) + 1
         if horizon_frames is None:
             return needed
         if horizon_frames < needed:
@@ -309,7 +308,7 @@ class _DeviceActor:
             self._directive.adapted_cycle,
             self._device.drx.nb,
         ).schedule
-        busy_end = _frame_after(
+        busy_end = frame_after_seconds(
             frames_to_seconds(frame) + airtime.paging_message_s + episode
         )
         self._schedule_monitor(self._grid.first_at_or_after(busy_end + 1))
@@ -354,7 +353,7 @@ class _DeviceActor:
         self.main_end_s = end_s + tail
         self._suspended = False
         self._schedule_monitor(
-            self._grid.first_at_or_after(_frame_after(self.main_end_s) + 1)
+            self._grid.first_at_or_after(frame_after_seconds(self.main_end_s) + 1)
         )
 
     # ------------------------------------------------------------------

@@ -23,6 +23,7 @@ from repro.timebase.frames import (
     SFN_PERIOD,
     SUBFRAMES_PER_FRAME,
     FrameWindow,
+    frame_after_seconds,
     frame_at_or_after_ms,
     frame_containing_ms,
     frames_to_ms,
@@ -33,6 +34,7 @@ from repro.timebase.frames import (
     seconds_to_nearest_ms,
     sfn_of,
     subframe_count,
+    v_frame_after_seconds,
     validate_frame,
 )
 from repro.timebase.units import (
@@ -52,8 +54,10 @@ __all__ = [
     "FRAMES_PER_HYPERFRAME",
     "SFN_PERIOD",
     "FrameWindow",
+    "frame_after_seconds",
     "frame_at_or_after_ms",
     "frame_containing_ms",
+    "v_frame_after_seconds",
     "frames_to_ms",
     "frames_to_seconds",
     "ms_to_frames",

@@ -11,6 +11,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterator
 
+import numpy as np
+
 from repro.errors import TimebaseError
 
 #: Milliseconds per LTE/NB-IoT subframe.
@@ -119,6 +121,33 @@ def frame_at_or_after_ms(ms: int) -> int:
     if ms < 0:
         raise TimebaseError(f"instant must be non-negative, got {ms} ms")
     return -((-int(ms)) // MS_PER_FRAME)
+
+
+def frame_after_seconds(time_s: float) -> int:
+    """First frame boundary at or after the instant ``time_s``.
+
+    The instant is snapped to the nearest integer millisecond (the 1 ms
+    subframe is the radio timeline's physical granularity) and the frame
+    index is then an exact integer ceiling — so the rounding cannot
+    drift however long the horizon grows. Snapping means an instant less
+    than half a subframe past a frame boundary resolves to that
+    boundary; all control-plane durations are whole milliseconds, so
+    only modelling artifacts (fractional-ms payload airtimes, random
+    backoffs) are affected. All executors share this helper (see
+    :func:`v_frame_after_seconds` for the fleet-wide twin).
+    """
+    return frame_at_or_after_ms(seconds_to_nearest_ms(time_s))
+
+
+def v_frame_after_seconds(times_s: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`frame_after_seconds` (bit-identical).
+
+    ``np.rint`` rounds half to even exactly like the scalar
+    :func:`seconds_to_nearest_ms`, and the ceiling is the same exact
+    integer division.
+    """
+    ms = np.rint(np.asarray(times_s) * 1000.0).astype(np.int64)
+    return -((-ms) // MS_PER_FRAME)
 
 
 def frame_containing_ms(ms: int) -> int:

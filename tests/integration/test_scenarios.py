@@ -121,3 +121,33 @@ class TestSweepThroughParallelColumnarPath:
         assert (
             stormy["mean_wait_s"].mean >= calm["mean_wait_s"].mean - 1e-9
         )
+
+    def test_grouping_axis_sweep_serial_process_bit_identical(self):
+        """A 3-policy grouping sweep: process == serial, bit for bit."""
+        from repro.scenarios import SweepAxis, run_sweep, scenario
+
+        specs = [
+            golden_spec(scenario("paper-baseline")).with_overrides(n_devices=40),
+            golden_spec(scenario("deep-coverage-heavy")).with_overrides(
+                n_devices=40
+            ),
+        ]
+        axes = [
+            SweepAxis(
+                "grouping",
+                ("greedy-cover", "coverage-stratified", "random"),
+            ),
+        ]
+        serial = run_sweep(specs, axes, backend="serial", n_runs=2)
+        process = run_sweep(
+            specs, axes, backend="process", workers=2, n_runs=2
+        )
+        assert len(serial) == len(process) == 6
+        for (cell_s, stats_s), (cell_p, stats_p) in zip(serial, process):
+            assert cell_s.coordinates == cell_p.coordinates
+            assert cell_s.spec.grouping == dict(cell_s.coordinates)["grouping"]
+            assert set(stats_s) == set(stats_p)
+            for metric, stats in stats_s.items():
+                assert (
+                    stats.values.tolist() == stats_p[metric].values.tolist()
+                ), f"{cell_s.label}.{metric} differs between backends"

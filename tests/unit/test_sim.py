@@ -9,20 +9,21 @@ from repro.energy.states import PowerState
 from repro.errors import ConfigurationError, SimulationError
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, EventKind
-from repro.sim.executor import CampaignExecutor, _frame_after
+from repro.sim.executor import CampaignExecutor
+from repro.timebase import frame_after_seconds
 from repro.sim.montecarlo import MonteCarlo, RunStatistics
 from repro.sim.rng import generator_for, spawn_generators
 
 
 class TestFrameAfter:
     def test_exact_boundary(self):
-        assert _frame_after(0.0) == 0
-        assert _frame_after(0.01) == 1
+        assert frame_after_seconds(0.0) == 0
+        assert frame_after_seconds(0.01) == 1
         # Float noise at the scale frames_to_seconds produces is absorbed.
-        assert _frame_after(0.010000000000001) == 1
+        assert frame_after_seconds(0.010000000000001) == 1
 
     def test_mid_frame_rounds_up(self):
-        assert _frame_after(0.015) == 2
+        assert frame_after_seconds(0.015) == 2
 
 
 class TestExecutor:
