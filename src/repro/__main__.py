@@ -21,6 +21,12 @@ Examples::
         --axis grouping=greedy-cover,coverage-stratified,random
     python -m repro multicell --devices 50000 --cells 8 \
         --grouping collision-aware
+    python -m repro runs record --scenario paper-baseline --out run.npz
+    python -m repro runs replay --log run.npz --verify
+    python -m repro runs diff run.npz other.npz
+    python -m repro multicell --devices 5000 --cells 4 --record cells.npz
+    python -m repro scenarios sweep --scenario dense-urban \
+        --axis record=0,1 --axis loss=0,0.05 --record-dir ./runlogs
 """
 
 from __future__ import annotations
@@ -196,9 +202,70 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="NAME=V1,V2,...",
         help=(
             "sweep axis (repeatable; devices/payload/ti/collision/loss/"
-            "cells). Default: a 3-axis devices x collision x loss grid"
+            "cells/record). Default: a 3-axis devices x collision x loss grid"
         ),
     )
+    sweep_p.add_argument(
+        "--record-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "write per-run event logs (.npz) of grid cells with "
+            "record_events set (e.g. a record=1 axis) into DIR"
+        ),
+    )
+
+    runs = sub.add_parser(
+        "runs",
+        help="record, log-only replay and diff single Monte-Carlo runs",
+    )
+    runs_actions = runs.add_subparsers(dest="action", required=True)
+
+    record_p = runs_actions.add_parser(
+        "record", help="execute one run with event recording and save the log"
+    )
+    record_p.add_argument(
+        "--scenario", required=True, metavar="NAME",
+        help="scenario name (see `scenarios list`)",
+    )
+    record_p.add_argument(
+        "--run-index", type=int, default=0,
+        help="which Monte-Carlo run to record (default 0)",
+    )
+    record_p.add_argument("--seed", type=int, default=None, help="root seed")
+    record_p.add_argument(
+        "--row-path", action="store_true",
+        help="record via the per-device reference executor instead of columnar",
+    )
+    record_p.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="output .npz path (default: <scenario>-<fp>-run<K>.npz in cwd)",
+    )
+
+    replay_p = runs_actions.add_parser(
+        "replay",
+        help="rebuild a recorded run's metrics from the log alone (STRICT)",
+    )
+    replay_p.add_argument(
+        "--log", required=True, metavar="FILE", help="recorded run (.npz)"
+    )
+    replay_p.add_argument(
+        "--verify", action="store_true",
+        help=(
+            "also re-execute the run live from the registry and demand the "
+            "event stream and metrics match exactly (exit 1 on drift)"
+        ),
+    )
+    replay_p.add_argument(
+        "--row-path", action="store_true",
+        help="--verify re-executes via the reference executor",
+    )
+
+    diff_p = runs_actions.add_parser(
+        "diff", help="structurally diff two recorded runs (exit 1 if differ)"
+    )
+    diff_p.add_argument("log_a", metavar="A", help="first recorded run (.npz)")
+    diff_p.add_argument("log_b", metavar="B", help="second recorded run (.npz)")
 
     multicell = sub.add_parser(
         "multicell",
@@ -244,6 +311,12 @@ def _build_parser() -> argparse.ArgumentParser:
             "grouping policy each cell plans with "
             "(see `grouping list`; default: the mechanism's own)"
         ),
+    )
+    multicell.add_argument(
+        "--record",
+        metavar="FILE",
+        default=None,
+        help="record every cell's event log and save them as one .npz",
     )
 
     grouping = sub.add_parser(
@@ -462,9 +535,79 @@ def _scenarios_sweep(args) -> int:
         workers=args.workers,
         n_runs=n_runs,
         columnar=not args.row_path,
+        record_dir=args.record_dir,
     )
     print(render_table(sweep_table(results, axes)))
+    if args.record_dir:
+        recorded = sum(
+            1 for cell, _ in results if cell.spec.record_events
+        )
+        print(
+            f"recorded event logs for {recorded} grid cells -> {args.record_dir}"
+        )
     return 0
+
+
+def _runs_record(args) -> int:
+    from repro.scenarios import record_run, run_log_filename, scenario
+
+    spec = scenario(args.scenario)
+    recorded = record_run(
+        spec,
+        args.run_index,
+        seed=args.seed,
+        columnar=not args.row_path,
+    )
+    out = args.out or run_log_filename(
+        spec.name, spec.fingerprint(), args.run_index
+    )
+    path = recorded.runlog.save(out)
+    n_events = sum(log.n_events for log in recorded.runlog.cells.values())
+    print(
+        f"recorded {spec.name} run {args.run_index}: "
+        f"{len(recorded.runlog.cells)} cell(s), {n_events} events -> {path}"
+    )
+    for name in ("transmissions", "mean_wait_s", "energy_mj", "segments_sent"):
+        print(f"  {name}: {recorded.metrics[name]:g}")
+    return 0
+
+
+def _runs_replay(args) -> int:
+    from repro.scenarios import runlog_headline_metrics, verify_runlog
+    from repro.sim.eventlog import RunLog
+
+    runlog = RunLog.load(args.log)
+    meta = runlog.meta
+    print(
+        f"run: scenario={meta.get('scenario')} seed={meta.get('seed')} "
+        f"run_index={meta.get('run_index')} cells={sorted(runlog.cells)}"
+    )
+    for cell_id in sorted(runlog.cells):
+        log = runlog.cells[cell_id]
+        counts = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(log.counts_by_kind().items())
+        )
+        print(f"  cell {cell_id}: {log.n_events} events ({counts})")
+    metrics = runlog_headline_metrics(runlog)
+    print("log-only metrics (STRICT replay, no re-simulation):")
+    for name, value in metrics.items():
+        print(f"  {name}: {value!r}")
+    if args.verify:
+        findings = verify_runlog(runlog, columnar=not args.row_path)
+        if findings:
+            for finding in findings:
+                print(f"VERIFY FAILED: {finding}")
+            return 1
+        print("verified: live re-execution matches the log bit for bit")
+    return 0
+
+
+def _runs_diff(args) -> int:
+    from repro.sim.eventlog import RunLog, diff_runlogs, format_runlog_diff
+
+    diff = diff_runlogs(RunLog.load(args.log_a), RunLog.load(args.log_b))
+    print(format_runlog_diff(diff))
+    return 0 if diff.is_empty else 1
 
 
 def _parse_weights(spec: Optional[str]) -> Optional[tuple]:
@@ -516,8 +659,30 @@ def _multicell(args) -> int:
         seed=args.seed,
         backend=args.backend,
         workers=args.workers,
+        record_events=args.record is not None,
     )
     elapsed = time.perf_counter() - started
+
+    if args.record is not None:
+        from repro.sim.eventlog import RunLog
+
+        runlog = RunLog(
+            meta={
+                "scenario": "multicell-cli",
+                "seed": args.seed,
+                "run_index": 0,
+                "mechanism": args.mechanism,
+                "n_devices": args.devices,
+                "n_cells": args.cells,
+            },
+            cells={c.cell_id: c.event_log for c in report.campaigns},
+        )
+        path = runlog.save(args.record)
+        n_events = sum(log.n_events for log in runlog.cells.values())
+        print(
+            f"recorded {len(runlog.cells)} cell logs ({n_events} events) "
+            f"-> {path}"
+        )
 
     if args.verify:
         other_backend = "process" if args.backend == "serial" else "serial"
@@ -602,6 +767,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.action == "run":
             return _scenarios_run(args)
         return _scenarios_sweep(args)
+
+    if args.command == "runs":
+        if args.action == "record":
+            return _runs_record(args)
+        if args.action == "replay":
+            return _runs_replay(args)
+        return _runs_diff(args)
 
     if args.command == "multicell":
         return _multicell(args)

@@ -42,6 +42,11 @@ from repro.sim.metrics import CampaignResult
 from repro.sim.parallel import map_in_processes, map_serial
 from repro.timebase import frames_to_seconds
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.eventlog import EventLog
+
 #: Execution backends accepted by :meth:`CoordinationEntity.rollout`.
 ROLLOUT_BACKENDS = ("serial", "process")
 
@@ -185,12 +190,17 @@ def partition_fleet(
 
 @dataclass(frozen=True)
 class CellCampaign:
-    """One cell's share of a multi-cell campaign."""
+    """One cell's share of a multi-cell campaign.
+
+    ``event_log`` is populated only when the rollout ran with
+    ``record_events=True`` (see :mod:`repro.sim.eventlog`).
+    """
 
     cell_id: int
     fleet_size: int
     plan: MulticastPlan
     result: CampaignResult
+    event_log: Optional["EventLog"] = None
 
 
 def cells_bit_identical(left: CellCampaign, right: CellCampaign) -> bool:
@@ -302,17 +312,24 @@ def _cell_campaign(
     mechanism: GroupingMechanism,
     executor: CampaignExecutor,
     context: PlanningContext,
+    record_events: bool = False,
 ) -> CellCampaign:
     """Plan and execute one cell's campaign (picklable; pool-safe)."""
     cell_id, fleet = item
     plan = mechanism.plan(fleet, context, rng)
     plan.validate(fleet)
-    result = executor.execute(fleet, plan, rng=rng)
+    recorder = None
+    if record_events:
+        from repro.sim.eventlog import EventLogRecorder
+
+        recorder = EventLogRecorder()
+    result = executor.execute(fleet, plan, rng=rng, recorder=recorder)
     return CellCampaign(
         cell_id=cell_id,
         fleet_size=len(fleet),
         plan=plan,
         result=result,
+        event_log=None if recorder is None else recorder.finalize(cell=cell_id),
     )
 
 
@@ -342,8 +359,14 @@ class CoordinationEntity:
         seed: Optional[int] = None,
         backend: str = "serial",
         workers: Optional[int] = None,
+        record_events: bool = False,
     ) -> MultiCellReport:
         """Run the coordinated campaign over every cell.
+
+        ``record_events=True`` attaches a finalized
+        :class:`~repro.sim.eventlog.EventLog` to every
+        :class:`CellCampaign` (works on both backends; logs are plain
+        arrays and pickle across the pool).
 
         Two randomness modes:
 
@@ -391,6 +414,7 @@ class CoordinationEntity:
                         mechanism=self._mechanism,
                         executor=self._executor,
                         context=context,
+                        record_events=record_events,
                     )
                 )
             return MultiCellReport(campaigns=tuple(campaigns))
@@ -401,6 +425,7 @@ class CoordinationEntity:
             mechanism=self._mechanism,
             executor=self._executor,
             context=context,
+            record_events=record_events,
         )
         if backend == "process":
             campaigns = map_in_processes(fn, seed, items, workers=workers)

@@ -71,6 +71,9 @@ class RepairOutcome:
             ``max_rounds`` was hit).
         base_segments: segments in a loss-free single pass (the image's
             segment count) — the denominator of the overhead fraction.
+        segments_per_round: segments transmitted in each round, in
+            order (sums to ``segments_sent``; recorded into event logs
+            as REPAIR_ROUND rows).
     """
 
     rounds: int
@@ -78,6 +81,7 @@ class RepairOutcome:
     devices_complete: int
     residual_missing: int
     base_segments: int = 1
+    segments_per_round: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.base_segments < 1:
@@ -106,9 +110,11 @@ def simulate_repair_rounds(
     missing = np.ones((n_devices, n_segments), dtype=bool)
     to_send = np.ones(n_segments, dtype=bool)
     segments_sent = 0
+    per_round: List[int] = []
     rounds = 0
     while to_send.any() and rounds < config.max_rounds:
         rounds += 1
+        per_round.append(int(to_send.sum()))
         segments_sent += int(to_send.sum())
         # Every device listening loses each sent segment independently.
         receive = rng.random((n_devices, n_segments)) >= (
@@ -125,6 +131,7 @@ def simulate_repair_rounds(
         devices_complete=int((~missing.any(axis=1)).sum()),
         residual_missing=int(missing.sum()),
         base_segments=n_segments,
+        segments_per_round=tuple(per_round),
     )
 
 

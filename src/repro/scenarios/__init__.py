@@ -26,6 +26,13 @@ from repro.scenarios.golden import (
     load_golden,
     write_golden,
 )
+from repro.scenarios.record import (
+    RecordedRun,
+    record_run,
+    rerecord,
+    runlog_headline_metrics,
+    verify_runlog,
+)
 from repro.scenarios.registry import (
     all_scenarios,
     register_scenario,
@@ -35,6 +42,7 @@ from repro.scenarios.registry import (
 from repro.scenarios.runner import (
     HEADLINE_METRICS,
     headline_means,
+    run_log_filename,
     run_scenario,
     scenario_run,
     scenario_table,
@@ -59,9 +67,15 @@ __all__ = [
     "all_scenarios",
     "scenario_run",
     "run_scenario",
+    "run_log_filename",
     "headline_means",
     "scenario_table",
     "HEADLINE_METRICS",
+    "RecordedRun",
+    "record_run",
+    "rerecord",
+    "runlog_headline_metrics",
+    "verify_runlog",
     "SweepAxis",
     "SweepCell",
     "AXIS_FIELDS",

@@ -1,0 +1,162 @@
+"""Record, reconstruct and verify single scenario runs.
+
+The bridge between the scenario layer and the columnar event log
+(:mod:`repro.sim.eventlog`): :func:`record_run` reproduces exactly one
+Monte-Carlo run of a spec — spawning the same child generator the
+harness would hand run *k* — with event recording on, so a recorded
+``.npz`` is a faithful witness of the run the aggregate statistics
+already contain. :func:`runlog_headline_metrics` rebuilds the headline
+metrics from a recorded run *alone* (STRICT replay, no re-simulation),
+replicating the runner's float-fold order so the numbers are
+bit-identical to the live run's. :func:`verify_runlog` closes the loop:
+re-execute the run live from the registry and demand both the event
+stream and the metrics match exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.scenarios.registry import scenario
+from repro.scenarios.runner import HEADLINE_METRICS, scenario_run
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.eventlog import (
+    RunLog,
+    diff_runlogs,
+    format_runlog_diff,
+    replay_strict,
+)
+from repro.sim.events import EventKind
+from repro.sim.rng import spawn_generators
+
+
+@dataclass
+class RecordedRun:
+    """One recorded Monte-Carlo run: live metrics plus its event log."""
+
+    spec: ScenarioSpec
+    run_index: int
+    metrics: Dict[str, float]
+    runlog: RunLog
+
+
+def record_run(
+    spec: ScenarioSpec,
+    run_index: int = 0,
+    *,
+    seed: Optional[int] = None,
+    columnar: bool = True,
+) -> RecordedRun:
+    """Execute run ``run_index`` of ``spec`` with event recording on.
+
+    The run's generator is spawned exactly as the Monte-Carlo harness
+    spawns it (``SeedSequence(seed).spawn(n)[run_index]``), so the
+    recorded run is the *same* run that contributes row ``run_index``
+    to ``run_scenario``'s aggregated metric arrays — child ``k`` of a
+    seed sequence does not depend on how many siblings were spawned.
+    """
+    if run_index < 0:
+        raise ConfigurationError(f"run_index must be >= 0, got {run_index}")
+    root_seed = spec.seed if seed is None else seed
+    n = max(spec.n_runs, run_index + 1)
+    rng = spawn_generators(root_seed, n)[run_index]
+    recording: List[RunLog] = []
+    metrics = scenario_run(
+        rng, run_index, spec, columnar=columnar, recording=recording
+    )
+    runlog = recording[0]
+    runlog.meta["seed"] = int(root_seed)
+    return RecordedRun(
+        spec=spec, run_index=run_index, metrics=metrics, runlog=runlog
+    )
+
+
+def runlog_headline_metrics(runlog: RunLog) -> Dict[str, float]:
+    """The headline metrics of a recorded run, from the log alone.
+
+    Every cell's :class:`~repro.sim.metrics.CampaignResult` is rebuilt
+    by the STRICT replayer and folded into run metrics in exactly the
+    order :func:`~repro.scenarios.runner.scenario_run` folds the live
+    results (single-cell direct reads; multi-cell Python sums over
+    campaigns in ascending cell order, device-weighted mean wait), so
+    the values are bit-identical to the live run's — not merely close.
+    """
+    cell_ids = sorted(runlog.cells)
+    logs = [runlog.cells[cell_id] for cell_id in cell_ids]
+    results = [replay_strict(log) for log in logs]
+    segments = [
+        int(log.of_kind(EventKind.REPAIR_ROUND)["a"].sum()) for log in logs
+    ]
+    multi_cell = int(runlog.meta.get("n_cells", len(logs))) > 1
+    if not multi_cell:
+        result = results[0]
+        fleet = result.fleet
+        return {
+            "transmissions": float(result.n_transmissions),
+            "mean_wait_s": result.mean_wait_s,
+            "uptime_s": fleet.light_sleep_s + fleet.connected_s,
+            "energy_mj": fleet.energy_mj,
+            "segments_sent": float(segments[0]),
+        }
+    total_devices = sum(r.n_devices for r in results)
+    light_sleep_s = sum(r.fleet.light_sleep_s for r in results)
+    connected_s = sum(r.fleet.connected_s for r in results)
+    return {
+        "transmissions": float(sum(r.n_transmissions for r in results)),
+        "mean_wait_s": (
+            sum(r.mean_wait_s * r.n_devices for r in results) / total_devices
+        ),
+        "uptime_s": light_sleep_s + connected_s,
+        "energy_mj": sum(r.fleet.energy_mj for r in results),
+        "segments_sent": float(sum(segments)),
+    }
+
+
+def rerecord(runlog: RunLog, *, columnar: bool = True) -> RecordedRun:
+    """Re-execute a recorded run live, from the scenario registry.
+
+    The log's run key (scenario name, spec fingerprint, seed, run
+    index) identifies the run; a fingerprint mismatch against the
+    registered spec means the scenario definition has drifted since the
+    recording and is an error, not a silent re-run of something else.
+    """
+    meta = runlog.meta
+    name = meta.get("scenario")
+    if not name:
+        raise SimulationError("run log metadata has no scenario name")
+    spec = scenario(str(name))
+    recorded_fp = meta.get("fingerprint")
+    if recorded_fp and spec.fingerprint() != recorded_fp:
+        raise SimulationError(
+            f"scenario {name!r} has changed since this log was recorded "
+            f"(fingerprint {spec.fingerprint()[:12]} != "
+            f"recorded {str(recorded_fp)[:12]})"
+        )
+    seed = int(meta.get("seed", spec.seed))
+    run_index = int(meta.get("run_index", 0))
+    return record_run(spec, run_index, seed=seed, columnar=columnar)
+
+
+def verify_runlog(runlog: RunLog, *, columnar: bool = True) -> List[str]:
+    """Findings against a recorded run; an empty list means verified.
+
+    Two independent checks: (1) re-execute the run live and demand the
+    fresh event stream is identical to the recorded one; (2) rebuild
+    the headline metrics from the log alone and demand exact float
+    equality with the live run's metrics.
+    """
+    findings: List[str] = []
+    fresh = rerecord(runlog, columnar=columnar)
+    diff = diff_runlogs(runlog, fresh.runlog)
+    if not diff.is_empty:
+        findings.append(format_runlog_diff(diff))
+    rebuilt = runlog_headline_metrics(runlog)
+    for key in HEADLINE_METRICS:
+        live = fresh.metrics[key]
+        if rebuilt[key] != live:
+            findings.append(
+                f"metric {key}: log-only {rebuilt[key]!r} != live {live!r}"
+            )
+    return findings

@@ -13,15 +13,22 @@ both backends produce bit-identical metric arrays.
 from __future__ import annotations
 
 from functools import partial
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.errors import ConfigurationError
 from repro.experiments.reporting import Table
 from repro.multicast.coordination import CoordinationEntity, partition_fleet
 from repro.multicast.reliability import simulate_repair_rounds
 from repro.phy.coverage import CoverageClass
 from repro.scenarios.spec import ScenarioSpec
+from repro.sim.eventlog import (
+    EventLogRecorder,
+    RunLog,
+    repair_round_rows,
+)
 from repro.sim.executor import CampaignExecutor
 from repro.sim.montecarlo import MonteCarlo, RunStatistics
 from repro.sim.parallel import ResultCache
@@ -38,11 +45,26 @@ HEADLINE_METRICS = (
 )
 
 
+def _run_meta(spec: ScenarioSpec, run_index: int) -> Dict[str, object]:
+    """The run key a recorded :class:`RunLog` carries."""
+    return {
+        "scenario": spec.name,
+        "fingerprint": spec.fingerprint(),
+        "seed": spec.seed,
+        "run_index": int(run_index),
+        "mechanism": spec.mechanism,
+        "n_devices": spec.n_devices,
+        "n_cells": spec.cells.n_cells,
+    }
+
+
 def _multi_cell_run(
     rng: np.random.Generator,
     spec: ScenarioSpec,
     fleet,
     columnar: bool,
+    run_index: int = 0,
+    recording: Optional[List[RunLog]] = None,
 ) -> Dict[str, float]:
     """One Monte-Carlo run of a multi-cell scenario.
 
@@ -59,7 +81,11 @@ def _multi_cell_run(
     entity = CoordinationEntity(spec.mechanism_obj(), executor=executor)
     rollout_seed = int(rng.integers(0, 2**32))
     report = entity.rollout(
-        cells, spec.image(), spec.planning_context(), seed=rollout_seed
+        cells,
+        spec.image(),
+        spec.planning_context(),
+        seed=rollout_seed,
+        record_events=recording is not None,
     )
     repairs = [
         simulate_repair_rounds(
@@ -67,6 +93,18 @@ def _multi_cell_run(
         )
         for campaign in report.campaigns
     ]
+    if recording is not None:
+        cell_logs = {}
+        for campaign, repair in zip(report.campaigns, repairs):
+            log = campaign.event_log.with_appended(
+                repair_round_rows(
+                    repair.segments_per_round, campaign.result.horizon_frames
+                )
+            )
+            cell_logs[campaign.cell_id] = log
+        recording.append(
+            RunLog(meta=_run_meta(spec, run_index), cells=cell_logs)
+        )
 
     histogram = fleet.coverage_histogram()
     deep = histogram[CoverageClass.ROBUST] + histogram[CoverageClass.EXTREME]
@@ -100,8 +138,15 @@ def scenario_run(
     _run_index: int,
     spec: ScenarioSpec,
     columnar: bool = True,
+    recording: Optional[List[RunLog]] = None,
 ) -> Dict[str, float]:
-    """One Monte-Carlo run of ``spec`` (picklable; process-pool safe)."""
+    """One Monte-Carlo run of ``spec`` (picklable; process-pool safe).
+
+    When ``recording`` is a list, a :class:`~repro.sim.eventlog.RunLog`
+    for the run (one event log per cell, repair rounds appended) is
+    appended to it. Recording works only with in-process execution —
+    a process-pool worker would append to its own copy of the list.
+    """
     fleet = generate_fleet(
         spec.n_devices,
         spec.mixture_obj(),
@@ -110,14 +155,24 @@ def scenario_run(
         battery=spec.battery(),
     )
     if spec.cells.is_multi_cell:
-        return _multi_cell_run(rng, spec, fleet, columnar)
+        return _multi_cell_run(
+            rng, spec, fleet, columnar, run_index=_run_index, recording=recording
+        )
     mechanism = spec.mechanism_obj()
     plan = mechanism.plan(fleet, spec.planning_context(), rng)
     executor = CampaignExecutor(timings=spec.timings(), columnar=columnar)
-    result = executor.execute(fleet, plan, rng=rng)
+    recorder = EventLogRecorder() if recording is not None else None
+    result = executor.execute(fleet, plan, rng=rng, recorder=recorder)
     repair = simulate_repair_rounds(
         spec.image(), spec.n_devices, spec.reliability(), rng
     )
+    if recorder is not None:
+        log = recorder.finalize(cell=0).with_appended(
+            repair_round_rows(repair.segments_per_round, result.horizon_frames)
+        )
+        recording.append(
+            RunLog(meta=_run_meta(spec, _run_index), cells={0: log})
+        )
 
     summary = result.fleet
     histogram = fleet.coverage_histogram()
@@ -152,26 +207,70 @@ def run_scenario(
     seed: Optional[int] = None,
     columnar: bool = True,
     cache: Optional[ResultCache] = None,
+    record_dir: Optional[Union[str, Path]] = None,
 ) -> Dict[str, RunStatistics]:
     """Run ``spec`` through the Monte-Carlo harness and aggregate.
 
     ``backend``/``workers`` select serial or process-pool execution
     (bit-identical either way); ``columnar=False`` drops to the
     per-device reference executor (the equivalence oracle the
-    integration tests pin the fast path to).
+    integration tests pin the fast path to). ``record_dir`` turns on
+    event-log recording: every run writes one
+    :class:`~repro.sim.eventlog.RunLog` ``.npz`` into the directory.
+    Recording is observability on top of an unchanged simulation —
+    metrics are bit-identical with and without it — but it requires the
+    serial backend (logs cannot cross a process pool through a shared
+    list) and an uncached harness (a cache hit skips the run function,
+    so nothing would be recorded).
     """
+    root_seed = spec.seed if seed is None else seed
+    recording: Optional[List[RunLog]] = None
+    if record_dir is not None:
+        if backend != "serial":
+            raise ConfigurationError(
+                f"recording requires backend='serial', got {backend!r}"
+            )
+        if cache is not None:
+            raise ConfigurationError(
+                "recording requires an uncached run (cache hits skip "
+                "execution, so no events would be recorded)"
+            )
+        recording = []
     harness = MonteCarlo(
         n_runs=spec.n_runs if n_runs is None else n_runs,
-        seed=spec.seed if seed is None else seed,
+        seed=root_seed,
         backend=backend,
         workers=workers,
         cache=cache,
     )
-    return harness.run(
-        partial(scenario_run, spec=spec, columnar=columnar),
+    stats = harness.run(
+        partial(
+            scenario_run, spec=spec, columnar=columnar, recording=recording
+        ),
         cache_tag=f"scenario/{spec.name}",
         config_fingerprint=spec.fingerprint(),
     )
+    if recording is not None:
+        directory = Path(record_dir)
+        directory.mkdir(parents=True, exist_ok=True)
+        for runlog in recording:
+            runlog.meta["seed"] = root_seed
+            runlog.save(
+                directory
+                / run_log_filename(
+                    spec.name, spec.fingerprint(), runlog.meta["run_index"]
+                )
+            )
+    return stats
+
+
+def run_log_filename(scenario: str, fingerprint: str, run_index: int) -> str:
+    """Canonical ``.npz`` filename of one recorded run.
+
+    The short fingerprint keeps sweep variants of the same scenario
+    (same name, different axis values) from overwriting each other.
+    """
+    return f"{scenario}-{fingerprint[:8]}-run{int(run_index):03d}.npz"
 
 
 def headline_means(stats: Dict[str, RunStatistics]) -> Dict[str, float]:

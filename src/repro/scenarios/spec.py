@@ -69,6 +69,10 @@ class ScenarioSpec:
         n_runs: Monte-Carlo repetitions.
         seed: root seed (children spawned per run).
         battery_mah: battery capacity behind the energy-drain metric.
+        record_events: emit a columnar event log per (run, cell) — see
+            :mod:`repro.sim.eventlog`. Observability only: excluded
+            from the fingerprint, since recording never changes what a
+            run computes.
     """
 
     name: str
@@ -90,6 +94,7 @@ class ScenarioSpec:
     n_runs: int = 20
     seed: int = 2018
     battery_mah: float = 5000.0
+    record_events: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -199,8 +204,18 @@ class ScenarioSpec:
         return replace(self, **overrides)
 
     def fingerprint(self) -> str:
-        """Stable hash of every scenario parameter (cache key input)."""
-        return fingerprint(self)
+        """Stable hash of every *semantic* scenario parameter.
+
+        ``record_events`` is excluded: recording is observability, not
+        simulation input, so a recorded run shares its cache key — and
+        its log is comparable — with the unrecorded run it mirrors.
+        """
+        fields = {
+            name: getattr(self, name)
+            for name in self.__dataclass_fields__
+            if name != "record_events"
+        }
+        return fingerprint(fields)
 
     def summary_fields(self) -> Dict[str, Any]:
         """The fields ``scenarios list`` tabulates."""

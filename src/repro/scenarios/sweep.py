@@ -40,10 +40,14 @@ AXIS_FIELDS: Dict[str, str] = {
     "grouping": "grouping",
     "runs": "n_runs",
     "seed": "seed",
+    "record": "record_events",
 }
 
 #: Axes whose values are registry names, not numbers.
 _STRING_AXES = frozenset({"grouping"})
+
+#: Axes whose values are booleans (CLI accepts 0/1/true/false).
+_BOOL_AXES = frozenset({"record"})
 
 #: Axes whose numeric CLI value must be wrapped into a richer spec
 #: field. A ``cells`` sweep varies the uniform cell count (sweeping the
@@ -124,6 +128,14 @@ def parse_axis(spec: str) -> SweepAxis:
         if name in _STRING_AXES:
             values.append(part)
             continue
+        if name in _BOOL_AXES:
+            lowered = part.lower()
+            if lowered not in ("0", "1", "true", "false"):
+                raise ConfigurationError(
+                    f"axis {name!r} takes 0/1/true/false, got {part!r}"
+                )
+            values.append(lowered in ("1", "true"))
+            continue
         number = float(part)
         if field in ("n_devices", "payload_bytes", "cells", "n_runs", "seed"):
             number = int(number)
@@ -173,17 +185,26 @@ def run_sweep(
     n_runs: Optional[int] = None,
     columnar: bool = True,
     cache: Optional[ResultCache] = None,
+    record_dir: Optional[str] = None,
 ) -> "List[Tuple[SweepCell, Dict[str, RunStatistics]]]":
-    """Execute every grid cell and return (cell, aggregated stats) pairs."""
+    """Execute every grid cell and return (cell, aggregated stats) pairs.
+
+    Grid cells whose spec has ``record_events`` set (e.g. via a
+    ``record=1`` axis) write their per-run event logs into
+    ``record_dir``; recording cells run serially and uncached (see
+    :func:`run_scenario`). Without a ``record_dir`` the flag is inert.
+    """
     results = []
     for cell in expand_grid(scenarios, axes):
+        recording = record_dir is not None and cell.spec.record_events
         stats = run_scenario(
             cell.spec,
-            backend=backend,
+            backend="serial" if recording else backend,
             workers=workers,
             n_runs=n_runs,
             columnar=columnar,
-            cache=cache,
+            cache=None if recording else cache,
+            record_dir=record_dir if recording else None,
         )
         results.append((cell, stats))
     return results

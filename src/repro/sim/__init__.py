@@ -17,9 +17,34 @@ Three executors produce equivalent campaign results from a plan:
 either in-process (``backend="serial"``) or sharded across a process
 pool (``backend="process"``, :mod:`repro.sim.parallel`) with an
 optional on-disk :class:`~repro.sim.parallel.ResultCache`.
+
+Every executor can additionally record a columnar event log
+(:mod:`repro.sim.eventlog`): pass an
+:class:`~repro.sim.eventlog.EventLogRecorder` and the run's semantic
+events serialise to one ``.npz`` per run, STRICT-replayable back into a
+bit-identical :class:`~repro.sim.metrics.CampaignResult` and diffable
+event-by-event.
 """
 
 from repro.sim.rng import generator_for, spawn_generators
+from repro.sim.eventlog import (
+    EVENT_DTYPE,
+    KIND_CODES,
+    SCHEMA_VERSION,
+    EventLog,
+    EventLogRecorder,
+    LogDiff,
+    RunLog,
+    RunLogDiff,
+    canonical_order,
+    compare_results,
+    diff_logs,
+    diff_runlogs,
+    format_diff,
+    format_runlog_diff,
+    repair_round_rows,
+    replay_strict,
+)
 from repro.sim.metrics import (
     CampaignResult,
     DeviceOutcome,
@@ -59,4 +84,20 @@ __all__ = [
     "ResultCache",
     "fingerprint",
     "shard_ranges",
+    "SCHEMA_VERSION",
+    "EVENT_DTYPE",
+    "KIND_CODES",
+    "EventLog",
+    "EventLogRecorder",
+    "LogDiff",
+    "RunLog",
+    "RunLogDiff",
+    "canonical_order",
+    "compare_results",
+    "diff_logs",
+    "diff_runlogs",
+    "format_diff",
+    "format_runlog_diff",
+    "repair_round_rows",
+    "replay_strict",
 ]

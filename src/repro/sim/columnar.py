@@ -25,9 +25,12 @@ reference.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.eventlog import EventLogRecorder
 
 from repro.core.plan import MulticastPlan, WakeMethod
 from repro.devices.fleet import COVERAGE_ORDER, Fleet
@@ -115,8 +118,14 @@ def execute_columnar(
     energy_profile: EnergyProfile = DEFAULT_PROFILE,
     horizon_frames: Optional[int] = None,
     rng: Optional[np.random.Generator] = None,
+    recorder: Optional["EventLogRecorder"] = None,
 ) -> CampaignResult:
-    """Run ``plan`` against ``fleet`` with whole-fleet array arithmetic."""
+    """Run ``plan`` against ``fleet`` with whole-fleet array arithmetic.
+
+    When ``recorder`` is given, the campaign's semantic events are
+    emitted as vectorised blocks (see :mod:`repro.sim.eventlog`); the
+    caller finalises the recorder into an :class:`EventLog`.
+    """
     airtime = timings.airtime
     directives = plan.directives
     n = len(directives)
@@ -294,6 +303,33 @@ def execute_columnar(
         PowerState.DEEP_SLEEP, np.maximum(0.0, (horizon_s - light) - connected)
     )
 
+    if recorder is not None:
+        _emit_events(
+            recorder,
+            plan,
+            timings,
+            horizon,
+            energy_profile=energy_profile,
+            dev=dev,
+            tx=tx,
+            is_da=is_da,
+            is_ept=is_ept,
+            page_frame=page_frame,
+            connect_frame=connect_frame,
+            adapt_frame=adapt_frame,
+            episode=episode,
+            ra_base=ra_base,
+            main_ra=main_ra,
+            ready=ready,
+            wait=wait,
+            rx=rx,
+            po_count=po_count,
+            page_rx=page_rx,
+            main_busy_end=main_busy_end,
+            starts=starts,
+            rate_bps=rate_bps,
+        )
+
     order = np.argsort(dev)
     columnar = FleetOutcomes(
         device_indices=dev[order],
@@ -309,4 +345,104 @@ def execute_columnar(
         columnar=columnar,
         actual_start_s=tuple(float(starts[t.index]) for t in plan.transmissions),
         energy_profile=energy_profile,
+    )
+
+
+def _emit_events(
+    recorder: "EventLogRecorder",
+    plan: MulticastPlan,
+    timings: ProcedureTimings,
+    horizon: int,
+    *,
+    energy_profile: EnergyProfile,
+    dev: np.ndarray,
+    tx: np.ndarray,
+    is_da: np.ndarray,
+    is_ept: np.ndarray,
+    page_frame: np.ndarray,
+    connect_frame: np.ndarray,
+    adapt_frame: np.ndarray,
+    episode: np.ndarray,
+    ra_base: np.ndarray,
+    main_ra: np.ndarray,
+    ready: np.ndarray,
+    wait: np.ndarray,
+    rx: np.ndarray,
+    po_count: np.ndarray,
+    page_rx: np.ndarray,
+    main_busy_end: np.ndarray,
+    starts: np.ndarray,
+    rate_bps: np.ndarray,
+) -> None:
+    """Emit the campaign's event rows as whole-fleet blocks.
+
+    Every frame/duration here is the exact float the accounting above
+    used, so the log round-trips bit-identically through the STRICT
+    replayer regardless of which executor emitted it.
+    """
+    from repro.sim.events import EventKind
+    from repro.sim.eventlog import profile_meta
+
+    airtime = timings.airtime
+    recorder.set_meta(
+        emitter="columnar",
+        energy_profile=profile_meta(energy_profile),
+        mechanism=plan.mechanism,
+        n_devices=int(dev.size),
+        n_transmissions=len(plan.transmissions),
+        payload_bytes=plan.payload_bytes,
+        announce_frame=plan.announce_frame,
+        horizon_frames=int(horizon),
+        po_monitor_s=airtime.po_monitor_s,
+        paging_message_s=airtime.paging_message_s,
+        extended_paging_s=airtime.extended_paging_s,
+        rrc_setup_s=airtime.rrc_setup_s,
+        release_s=timings.release_s(),
+        restore_s=timings.restore_s(),
+    )
+    announce = plan.announce_frame
+    recorder.emit_block(
+        EventKind.PO_MONITOR, announce, dev, tx, po_count.astype(np.float64)
+    )
+    normal = ~is_ept
+    if np.any(normal):
+        recorder.emit_block(
+            EventKind.PAGE, page_frame[normal], dev[normal], tx[normal], page_rx[normal]
+        )
+    if np.any(is_ept):
+        recorder.emit_block(
+            EventKind.EXTENDED_PAGE,
+            page_frame[is_ept],
+            dev[is_ept],
+            tx[is_ept],
+            page_rx[is_ept],
+        )
+        recorder.emit_block(
+            EventKind.T322_EXPIRY, connect_frame[is_ept], dev[is_ept], tx[is_ept]
+        )
+    if np.any(is_da):
+        recorder.emit_block(
+            EventKind.ADAPTATION_PAGE,
+            adapt_frame[is_da],
+            dev[is_da],
+            tx[is_da],
+            episode[is_da],
+            ra_base[is_da],
+        )
+    recorder.emit_block(
+        EventKind.CONNECTION_READY, v_frame_after_seconds(ready), dev, tx, main_ra, ready
+    )
+    recorder.emit_block(EventKind.DEVICE_DONE, main_busy_end, dev, tx, wait, rx)
+
+    n_tx = starts.size
+    tx_index = np.arange(n_tx, dtype=np.int64)
+    nominal_frame = np.empty(n_tx, dtype=np.int64)
+    for t in plan.transmissions:
+        nominal_frame[t.index] = t.frame
+    end_tx = starts + plan.payload_bytes * 8.0 / rate_bps
+    recorder.emit_block(
+        EventKind.TX_START, nominal_frame, -1, tx_index, starts, rate_bps
+    )
+    recorder.emit_block(
+        EventKind.TX_END, v_frame_after_seconds(end_tx), -1, tx_index, end_tx
     )

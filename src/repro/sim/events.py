@@ -34,6 +34,12 @@ class EventKind(Enum):
     TX_END = "tx_end"
     """The transmission's payload is fully delivered."""
 
+    DEVICE_DONE = "device_done"
+    """Log-only: a device finished its campaign (wait/rx settled)."""
+
+    REPAIR_ROUND = "repair_round"
+    """Log-only: one application-layer repair round completed."""
+
 
 @dataclass(frozen=True)
 class Event:

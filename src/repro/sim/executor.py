@@ -25,9 +25,12 @@ The same accounting is reproduced event-by-event in
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.eventlog import EventLogRecorder
 
 from repro.core.plan import DeviceDirective, MulticastPlan, Transmission, WakeMethod
 from repro.devices.device import NbIotDevice
@@ -77,6 +80,7 @@ class CampaignExecutor:
         plan: MulticastPlan,
         horizon_frames: Optional[int] = None,
         rng: Optional[np.random.Generator] = None,
+        recorder: Optional["EventLogRecorder"] = None,
     ) -> CampaignResult:
         """Run ``plan`` against ``fleet`` over a common horizon.
 
@@ -86,7 +90,9 @@ class CampaignExecutor:
         sums computed over identical horizons).
 
         ``rng`` is only needed when the random access model injects
-        contention.
+        contention. ``recorder`` (see :mod:`repro.sim.eventlog`)
+        captures the campaign's semantic events on either path; the
+        caller finalises it into an :class:`EventLog`.
         """
         if self._columnar:
             from repro.sim.columnar import execute_columnar
@@ -98,12 +104,15 @@ class CampaignExecutor:
                 energy_profile=self._profile,
                 horizon_frames=horizon_frames,
                 rng=rng,
+                recorder=recorder,
             )
         per_device = self._prepare_devices(fleet, plan, rng)
         actual_starts = self._transmission_starts(plan, per_device)
         outcomes, horizon = self._account(
-            fleet, plan, per_device, actual_starts, horizon_frames
+            fleet, plan, per_device, actual_starts, horizon_frames, recorder
         )
+        if recorder is not None:
+            self._emit_transmissions(plan, actual_starts, recorder)
         return CampaignResult(
             plan=plan,
             horizon_frames=horizon,
@@ -182,6 +191,7 @@ class CampaignExecutor:
         per_device: Dict[int, "_DeviceTimeline"],
         starts: Dict[int, float],
         horizon_frames: Optional[int],
+        recorder: Optional["EventLogRecorder"] = None,
     ) -> Tuple[List[DeviceOutcome], int]:
         airtime = self._timings.airtime
         transmissions = {t.index: t for t in plan.transmissions}
@@ -200,6 +210,25 @@ class CampaignExecutor:
             end_s = max(end_s, timeline.main_end_s)
         horizon = self._resolve_horizon(horizon_frames, end_s)
         horizon_s = frames_to_seconds(horizon)
+        if recorder is not None:
+            from repro.sim.eventlog import profile_meta
+
+            recorder.set_meta(
+                emitter="row",
+                energy_profile=profile_meta(self._profile),
+                mechanism=plan.mechanism,
+                n_devices=len(plan.directives),
+                n_transmissions=len(plan.transmissions),
+                payload_bytes=plan.payload_bytes,
+                announce_frame=plan.announce_frame,
+                horizon_frames=int(horizon),
+                po_monitor_s=airtime.po_monitor_s,
+                paging_message_s=airtime.paging_message_s,
+                extended_paging_s=airtime.extended_paging_s,
+                rrc_setup_s=airtime.rrc_setup_s,
+                release_s=self._timings.release_s(),
+                restore_s=self._timings.restore_s(),
+            )
 
         outcomes: List[DeviceOutcome] = []
         for directive in plan.directives:
@@ -216,6 +245,7 @@ class CampaignExecutor:
             )
             ledger.add(PowerState.PO_MONITOR, po_monitor * airtime.po_monitor_s)
             ledger.add(PowerState.PAGING_RX, timeline.page_rx_s)
+            ra2 = 0.0
             if directive.method is WakeMethod.DRX_ADAPTATION:
                 ledger.add(PowerState.PAGING_RX, timeline.adaptation_paging_s)
                 ra2 = self._timings.random_access.base_duration_s(device.coverage)
@@ -248,8 +278,94 @@ class CampaignExecutor:
                     updated_s=timeline.start_s + timeline.rx_s,
                 )
             )
+            if recorder is not None:
+                self._emit_device(
+                    recorder, plan, directive, timeline, po_monitor, ra2
+                )
         outcomes.sort(key=lambda outcome: outcome.device_index)
         return outcomes, horizon
+
+    def _emit_device(
+        self,
+        recorder: "EventLogRecorder",
+        plan: MulticastPlan,
+        directive: DeviceDirective,
+        timeline: "_DeviceTimeline",
+        po_monitor: int,
+        adaptation_ra_s: float,
+    ) -> None:
+        """Record one device's events with the exact accounted floats."""
+        from repro.sim.events import EventKind
+
+        dev = directive.device_index
+        tx = directive.transmission_index
+        recorder.emit(
+            EventKind.PO_MONITOR, plan.announce_frame, dev, tx, a=float(po_monitor)
+        )
+        if directive.method is WakeMethod.DRX_ADAPTATION:
+            recorder.emit(
+                EventKind.ADAPTATION_PAGE,
+                directive.adaptation_page_frame,
+                dev,
+                tx,
+                a=timeline.adaptation_episode_s,
+                b=adaptation_ra_s,
+            )
+        if directive.method is WakeMethod.EXTENDED_PAGE_TIMER:
+            recorder.emit(
+                EventKind.EXTENDED_PAGE,
+                directive.page_frame,
+                dev,
+                tx,
+                a=timeline.page_rx_s,
+            )
+            recorder.emit(EventKind.T322_EXPIRY, directive.connect_frame, dev, tx)
+        else:
+            recorder.emit(
+                EventKind.PAGE, directive.page_frame, dev, tx, a=timeline.page_rx_s
+            )
+        recorder.emit(
+            EventKind.CONNECTION_READY,
+            frame_after_seconds(timeline.ready_s),
+            dev,
+            tx,
+            a=timeline.ra_s,
+            b=timeline.ready_s,
+        )
+        recorder.emit(
+            EventKind.DEVICE_DONE,
+            frame_after_seconds(timeline.main_end_s),
+            dev,
+            tx,
+            a=max(0.0, timeline.start_s - timeline.ready_s),
+            b=timeline.rx_s,
+        )
+
+    @staticmethod
+    def _emit_transmissions(
+        plan: MulticastPlan,
+        starts: Dict[int, float],
+        recorder: "EventLogRecorder",
+    ) -> None:
+        """Record realised transmission bounds (row path)."""
+        from repro.sim.events import EventKind
+
+        for transmission in plan.transmissions:
+            start_s = starts[transmission.index]
+            end_s = start_s + plan.payload_bytes * 8.0 / transmission.rate_bps
+            recorder.emit(
+                EventKind.TX_START,
+                transmission.frame,
+                group=transmission.index,
+                a=start_s,
+                b=transmission.rate_bps,
+            )
+            recorder.emit(
+                EventKind.TX_END,
+                frame_after_seconds(end_s),
+                group=transmission.index,
+                a=end_s,
+            )
 
     def _tail_s(self, directive: DeviceDirective) -> float:
         """Post-payload signalling: restore (DA-SC only) + release."""

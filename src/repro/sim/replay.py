@@ -3,9 +3,12 @@
 Re-executes a :class:`~repro.core.plan.MulticastPlan` on the
 discrete-event engine, charging exactly the same durations as the
 arithmetic :class:`~repro.sim.executor.CampaignExecutor`. The
-integration tests assert the two produce identical ledgers; examples
+integration tests assert the two produce identical ledgers across all
+three mechanisms and multiple grouping policies
+(``tests/integration/test_executor_replay_equivalence.py``); examples
 use this executor when an inspectable event trace is worth the slower
-run time.
+run time. Like the executor, the replay can emit a columnar event log
+(pass ``recorder=``, see :mod:`repro.sim.eventlog`).
 
 Devices are lazy: each keeps at most one pending PO_MONITOR event, so
 the queue stays small even over multi-hour horizons.
@@ -14,9 +17,12 @@ the queue stays small even over multi-hour horizons.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.eventlog import EventLogRecorder
 
 from repro.core.plan import DeviceDirective, MulticastPlan, WakeMethod
 from repro.devices.fleet import Fleet
@@ -47,6 +53,7 @@ class EventDrivenCampaign:
         timings: ProcedureTimings = ProcedureTimings(),
         energy_profile: EnergyProfile = DEFAULT_PROFILE,
         trace: bool = False,
+        recorder: Optional["EventLogRecorder"] = None,
     ) -> None:
         self._fleet = fleet
         self._plan = plan
@@ -55,6 +62,7 @@ class EventDrivenCampaign:
         self._sim = Simulator(trace=trace)
         self._devices: Dict[int, _DeviceActor] = {}
         self._gates: Dict[int, _TransmissionGate] = {}
+        self._recorder = recorder
 
     @property
     def simulator(self) -> Simulator:
@@ -95,6 +103,26 @@ class EventDrivenCampaign:
         end_s = max(actor.main_end_s for actor in self._devices.values())
         horizon = self._resolve_horizon(horizon_frames, end_s)
         horizon_s = frames_to_seconds(horizon)
+        if self._recorder is not None:
+            from repro.sim.eventlog import profile_meta
+
+            airtime = self._timings.airtime
+            self._recorder.set_meta(
+                emitter="replay",
+                energy_profile=profile_meta(self._profile),
+                mechanism=self._plan.mechanism,
+                n_devices=len(self._plan.directives),
+                n_transmissions=len(self._plan.transmissions),
+                payload_bytes=self._plan.payload_bytes,
+                announce_frame=self._plan.announce_frame,
+                horizon_frames=int(horizon),
+                po_monitor_s=airtime.po_monitor_s,
+                paging_message_s=airtime.paging_message_s,
+                extended_paging_s=airtime.extended_paging_s,
+                rrc_setup_s=airtime.rrc_setup_s,
+                release_s=self._timings.release_s(),
+                restore_s=self._timings.restore_s(),
+            )
 
         # Phase 2: run the idle chains out to the horizon, stopping half
         # a frame short so the PO at the horizon boundary itself never
@@ -147,6 +175,10 @@ class EventDrivenCampaign:
     def timings(self) -> ProcedureTimings:
         return self._timings
 
+    @property
+    def recorder(self) -> Optional["EventLogRecorder"]:
+        return self._recorder
+
 
 class _TransmissionGate:
     """Starts a transmission once every group member is connected."""
@@ -175,6 +207,15 @@ class _TransmissionGate:
     def _on_start(self, event: Event) -> None:
         transmission = self._campaign.plan.transmissions[self._index]
         rx_s = self._campaign.plan.payload_bytes * 8.0 / transmission.rate_bps
+        recorder = self._campaign.recorder
+        if recorder is not None:
+            recorder.emit(
+                EventKind.TX_START,
+                transmission.frame,
+                group=self._index,
+                a=self.start_s,
+                b=transmission.rate_bps,
+            )
         for member in self.members:
             member.transmission_started(self.start_s)
         self._campaign.sim.schedule(
@@ -184,6 +225,14 @@ class _TransmissionGate:
         )
 
     def _on_end(self, event: Event) -> None:
+        recorder = self._campaign.recorder
+        if recorder is not None:
+            recorder.emit(
+                EventKind.TX_END,
+                frame_after_seconds(event.time_s),
+                group=self._index,
+                a=event.time_s,
+            )
         for member in self.members:
             member.transmission_ended(event.time_s)
 
@@ -256,6 +305,9 @@ class _DeviceActor:
         if frame == directive.page_frame:
             if directive.method is WakeMethod.EXTENDED_PAGE_TIMER:
                 self.ledger.add(PowerState.PAGING_RX, airtime.extended_paging_s)
+                self._record(
+                    EventKind.EXTENDED_PAGE, frame, a=airtime.extended_paging_s
+                )
                 # Priority -1: if the wake time collides with one of the
                 # device's own POs, the timer wins and the PO is skipped
                 # (the device is connecting, not monitoring).
@@ -275,6 +327,7 @@ class _DeviceActor:
                 return
             # Final page: receive it and connect.
             self.ledger.add(PowerState.PAGING_RX, airtime.paging_message_s)
+            self._record(EventKind.PAGE, frame, a=airtime.paging_message_s)
             self._suspended = True
             self._connect(frames_to_seconds(frame) + airtime.paging_message_s)
             return
@@ -286,8 +339,23 @@ class _DeviceActor:
 
     def _on_t322(self, event: Event) -> None:
         """T322 fired: stop idle monitoring and connect."""
+        self._record(EventKind.T322_EXPIRY, self._directive.connect_frame)
         self._suspended = True
         self._connect(event.time_s)
+
+    def _record(
+        self, kind: EventKind, frame: int, a: float = 0.0, b: float = 0.0
+    ) -> None:
+        recorder = self._campaign.recorder
+        if recorder is not None:
+            recorder.emit(
+                kind,
+                frame,
+                self._directive.device_index,
+                self._directive.transmission_index,
+                a=a,
+                b=b,
+            )
 
     # ------------------------------------------------------------------
     # Connection / adaptation
@@ -301,6 +369,7 @@ class _DeviceActor:
         ra = timings.random_access.base_duration_s(self._device.coverage)
         self.ledger.add(PowerState.RANDOM_ACCESS, ra)
         self.ledger.add(PowerState.RRC_SIGNALLING, episode - ra)
+        self._record(EventKind.ADAPTATION_PAGE, frame, a=episode, b=ra)
         # Switch to the adapted grid; resume monitoring after the episode.
         assert self._directive.adapted_cycle is not None
         self._grid = pattern_for(
@@ -320,6 +389,12 @@ class _DeviceActor:
         self.ledger.add(PowerState.RANDOM_ACCESS, ra.duration_s)
         self.ledger.add(PowerState.RRC_SIGNALLING, timings.airtime.rrc_setup_s)
         self.ready_s = at_s + ra.duration_s + timings.airtime.rrc_setup_s
+        self._record(
+            EventKind.CONNECTION_READY,
+            frame_after_seconds(self.ready_s),
+            a=ra.duration_s,
+            b=self.ready_s,
+        )
         self._campaign.sim.schedule(
             Event(
                 self.ready_s,
@@ -351,6 +426,12 @@ class _DeviceActor:
             self._grid = self._preferred  # cycle restored
         self.ledger.add(PowerState.RRC_SIGNALLING, tail)
         self.main_end_s = end_s + tail
+        self._record(
+            EventKind.DEVICE_DONE,
+            frame_after_seconds(self.main_end_s),
+            a=self.wait_s,
+            b=rx_s,
+        )
         self._suspended = False
         self._schedule_monitor(
             self._grid.first_at_or_after(frame_after_seconds(self.main_end_s) + 1)
@@ -363,6 +444,11 @@ class _DeviceActor:
         airtime = self._campaign.timings.airtime
         monitored = sum(1 for f in self._monitored_po_frames if f < horizon)
         self.ledger.add(PowerState.PO_MONITOR, monitored * airtime.po_monitor_s)
+        self._record(
+            EventKind.PO_MONITOR,
+            self._campaign.plan.announce_frame,
+            a=float(monitored),
+        )
         totals = self.ledger.totals
         self.ledger.add(
             PowerState.DEEP_SLEEP,

@@ -1,0 +1,110 @@
+"""Every registered scenario: record -> log-only reconstruct -> golden.
+
+The strongest end-to-end claim the event log makes is that a recorded
+``.npz`` is a complete witness of its run: the STRICT replayer rebuilds
+the run's headline metrics from the log alone, bit-identical to the
+live executor's, and those numbers still honour the committed golden
+pins. This suite enforces that claim for the whole registry.
+"""
+
+import math
+
+import pytest
+
+from repro.scenarios.golden import (
+    GOLDEN_REL_TOL,
+    GOLDEN_RUNS,
+    golden_spec,
+    load_golden,
+)
+from repro.scenarios.record import (
+    record_run,
+    runlog_headline_metrics,
+    verify_runlog,
+)
+from repro.scenarios.registry import scenario, scenario_names
+from repro.scenarios.runner import HEADLINE_METRICS
+from repro.sim.eventlog import RunLog, diff_runlogs
+
+
+@pytest.fixture(scope="module")
+def recorded_registry():
+    """Record every registered scenario's golden runs once per session."""
+    out = {}
+    for name in scenario_names():
+        spec = golden_spec(scenario(name))
+        out[name] = [
+            record_run(spec, run_index) for run_index in range(GOLDEN_RUNS)
+        ]
+    return out
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_log_only_metrics_are_bit_identical(name, recorded_registry):
+    for recorded in recorded_registry[name]:
+        rebuilt = runlog_headline_metrics(recorded.runlog)
+        for key in HEADLINE_METRICS:
+            assert rebuilt[key] == recorded.metrics[key], (
+                f"{name} run {recorded.run_index} metric {key}: "
+                f"log-only {rebuilt[key]!r} != live {recorded.metrics[key]!r}"
+            )
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_log_only_means_match_golden_pins(name, recorded_registry):
+    pinned = load_golden()[name]
+    runs = recorded_registry[name]
+    for key in HEADLINE_METRICS:
+        rebuilt_mean = sum(
+            runlog_headline_metrics(r.runlog)[key] for r in runs
+        ) / len(runs)
+        assert math.isclose(
+            rebuilt_mean,
+            pinned[key],
+            rel_tol=GOLDEN_REL_TOL,
+            abs_tol=GOLDEN_REL_TOL,
+        ), f"{name}.{key}: log-only mean {rebuilt_mean!r} vs pin {pinned[key]!r}"
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_runlog_meta_identifies_the_run(name, recorded_registry):
+    spec = golden_spec(scenario(name))
+    for index, recorded in enumerate(recorded_registry[name]):
+        meta = recorded.runlog.meta
+        assert meta["scenario"] == name
+        assert meta["fingerprint"] == spec.fingerprint()
+        assert int(meta["run_index"]) == index
+        assert int(meta["seed"]) == spec.seed
+        assert len(recorded.runlog.cells) == int(meta["n_cells"])
+
+
+@pytest.mark.parametrize("name", scenario_names())
+def test_npz_round_trip_preserves_the_run(name, recorded_registry, tmp_path):
+    recorded = recorded_registry[name][0]
+    path = recorded.runlog.save(tmp_path / f"{name}.npz")
+    loaded = RunLog.load(path)
+    assert diff_runlogs(recorded.runlog, loaded).is_empty
+    rebuilt = runlog_headline_metrics(loaded)
+    for key in HEADLINE_METRICS:
+        assert rebuilt[key] == recorded.metrics[key]
+
+
+def test_verify_runlog_closes_the_loop():
+    # verify_runlog resolves the run's spec from the registry, so the
+    # recording must use the registered spec itself, not golden_spec.
+    recorded = record_run(scenario("paper-baseline"))
+    assert verify_runlog(recorded.runlog) == []
+
+
+def test_verify_rejects_fingerprint_drift(recorded_registry):
+    from repro.errors import SimulationError
+
+    recorded = recorded_registry["paper-baseline"][0]
+    with pytest.raises(SimulationError, match="has changed since"):
+        verify_runlog(recorded.runlog)
+
+
+def test_different_runs_diverge(recorded_registry):
+    first, second = recorded_registry["paper-baseline"][:2]
+    diff = diff_runlogs(first.runlog, second.runlog)
+    assert not diff.is_empty

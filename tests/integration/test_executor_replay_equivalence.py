@@ -25,6 +25,19 @@ from repro.traffic.mixtures import MODERATE_EDRX_MIXTURE, PAPER_DEFAULT_MIXTURE
 
 MECHANISMS = [DrScMechanism, DaScMechanism, DrSiMechanism, UnicastBaseline]
 
+#: Mechanism x grouping-policy pairs: each mechanism with two policies
+#: it accepts, so the equivalence claim covers group formation too
+#: (the replay docstring promises all three mechanisms and multiple
+#: grouping policies).
+MECHANISM_POLICY_GRID = [
+    (DrScMechanism, "greedy-cover"),
+    (DrScMechanism, "coverage-stratified"),
+    (DaScMechanism, "single-group"),
+    (DaScMechanism, "collision-aware"),
+    (DrSiMechanism, "single-group"),
+    (DrSiMechanism, "random"),
+]
+
 
 def _compare(fleet, plan, horizon=None):
     analytic = CampaignExecutor().execute(fleet, plan, horizon_frames=horizon)
@@ -72,6 +85,40 @@ def test_equivalence_paper_mixture_small():
     context = PlanningContext(payload_bytes=100_000)
     for mechanism_cls in MECHANISMS:
         plan = mechanism_cls().plan(fleet, context, rng)
+        _compare(fleet, plan)
+
+
+@pytest.mark.parametrize(
+    "mechanism_cls,policy_name",
+    MECHANISM_POLICY_GRID,
+    ids=[f"{m.__name__}-{p}" for m, p in MECHANISM_POLICY_GRID],
+)
+def test_equivalence_mechanism_policy_grid(
+    mechanism_cls, policy_name, moderate_fleet, context
+):
+    from repro.grouping import grouping_policy_by_name
+
+    rng = np.random.default_rng(42)
+    mechanism = mechanism_cls(policy=grouping_policy_by_name(policy_name))
+    plan = mechanism.plan(moderate_fleet, context, rng)
+    plan.validate(moderate_fleet)
+    _compare(moderate_fleet, plan)
+
+
+@pytest.mark.parametrize(
+    "mechanism_cls,policy_name",
+    MECHANISM_POLICY_GRID,
+    ids=[f"{m.__name__}-{p}" for m, p in MECHANISM_POLICY_GRID],
+)
+def test_equivalence_grid_random_fleets(mechanism_cls, policy_name):
+    from repro.grouping import grouping_policy_by_name
+
+    for seed in (7, 8):
+        rng = np.random.default_rng(seed)
+        fleet = generate_fleet(14, MODERATE_EDRX_MIXTURE, rng)
+        context = PlanningContext(payload_bytes=60_000)
+        mechanism = mechanism_cls(policy=grouping_policy_by_name(policy_name))
+        plan = mechanism.plan(fleet, context, rng)
         _compare(fleet, plan)
 
 

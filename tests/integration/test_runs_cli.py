@@ -1,0 +1,152 @@
+"""CLI coverage for ``runs record|replay|diff`` and the record flags."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.sim.eventlog import RunLog
+
+
+@pytest.fixture(scope="module")
+def recorded_npz(tmp_path_factory):
+    """One recorded run of the smallest single-cell scenario."""
+    path = tmp_path_factory.mktemp("runs") / "reference.npz"
+    code = main(
+        [
+            "runs",
+            "record",
+            "--scenario",
+            "unicast-reference",
+            "--out",
+            str(path),
+        ]
+    )
+    assert code == 0
+    return path
+
+
+class TestRunsRecord:
+    def test_record_writes_npz_and_prints_metrics(self, recorded_npz, capsys):
+        assert recorded_npz.exists()
+        runlog = RunLog.load(recorded_npz)
+        assert runlog.meta["scenario"] == "unicast-reference"
+        assert 0 in runlog.cells
+
+    def test_record_custom_seed_and_run_index(self, tmp_path, capsys):
+        path = tmp_path / "alt.npz"
+        code = main(
+            [
+                "runs",
+                "record",
+                "--scenario",
+                "unicast-reference",
+                "--run-index",
+                "1",
+                "--seed",
+                "777",
+                "--out",
+                str(path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run 1" in out
+        runlog = RunLog.load(path)
+        assert int(runlog.meta["seed"]) == 777
+        assert int(runlog.meta["run_index"]) == 1
+
+    def test_record_unknown_scenario_fails(self):
+        with pytest.raises(Exception):
+            main(["runs", "record", "--scenario", "no-such-scenario"])
+
+
+class TestRunsReplay:
+    def test_replay_prints_log_only_metrics(self, recorded_npz, capsys):
+        code = main(["runs", "replay", "--log", str(recorded_npz)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "scenario=unicast-reference" in out
+        assert "log-only metrics" in out
+        assert "energy_mj" in out
+
+    def test_replay_verify_passes_on_faithful_log(self, recorded_npz, capsys):
+        code = main(["runs", "replay", "--log", str(recorded_npz), "--verify"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "verified: live re-execution matches the log" in out
+
+
+class TestRunsDiff:
+    def test_self_diff_is_empty(self, recorded_npz, capsys):
+        code = main(["runs", "diff", str(recorded_npz), str(recorded_npz)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "event-identical" in out
+
+    def test_different_seeds_diverge(self, recorded_npz, tmp_path, capsys):
+        other = tmp_path / "other-seed.npz"
+        assert (
+            main(
+                [
+                    "runs",
+                    "record",
+                    "--scenario",
+                    "unicast-reference",
+                    "--seed",
+                    "31337",
+                    "--out",
+                    str(other),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        code = main(["runs", "diff", str(recorded_npz), str(other)])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "first divergence" in out
+
+
+class TestRecordFlags:
+    def test_sweep_record_axis_writes_only_flagged_cells(
+        self, tmp_path, capsys
+    ):
+        record_dir = tmp_path / "runlogs"
+        code = main(
+            [
+                "scenarios",
+                "sweep",
+                "--scenario",
+                "unicast-reference",
+                "--runs",
+                "2",
+                "--axis",
+                "record=0,1",
+                "--record-dir",
+                str(record_dir),
+            ]
+        )
+        assert code == 0
+        files = sorted(record_dir.glob("*.npz"))
+        # one cell has record=1 -> exactly its 2 runs are on disk
+        assert len(files) == 2
+        for path in files:
+            runlog = RunLog.load(path)
+            assert runlog.meta["scenario"] == "unicast-reference"
+
+    def test_multicell_record_saves_every_cell(self, tmp_path, capsys):
+        path = tmp_path / "cells.npz"
+        code = main(
+            [
+                "multicell",
+                "--devices",
+                "60",
+                "--cells",
+                "3",
+                "--record",
+                str(path),
+            ]
+        )
+        assert code == 0
+        runlog = RunLog.load(path)
+        assert len(runlog.cells) == 3
+        assert int(runlog.meta["n_cells"]) == 3

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Coverage ratchet: fail CI when total coverage drops below the floor.
+
+Reads a ``coverage.json`` report (``pytest --cov=repro
+--cov-report=json`` or ``coverage json``) and compares the total
+percent covered against the committed floor in
+``tools/coverage_ratchet.json``. The floor only moves up: when a PR
+lifts coverage well past it, re-pin ``min_percent`` so the gain cannot
+silently erode.
+
+Usage::
+
+    python tools/check_coverage.py [coverage.json]
+
+Exit codes: 0 = at or above the floor, 1 = below, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+RATCHET_PATH = Path(__file__).with_name("coverage_ratchet.json")
+
+#: Headroom beyond which the script nags (but does not fail) to re-pin.
+RAISE_HINT_MARGIN = 2.0
+
+
+def main(argv: list) -> int:
+    report_path = Path(argv[1]) if len(argv) > 1 else Path("coverage.json")
+    try:
+        report = json.loads(report_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        print(
+            f"coverage report not found at {report_path}; run "
+            "`pytest --cov=repro --cov-report=json` first",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        measured = float(report["totals"]["percent_covered"])
+    except (KeyError, TypeError, ValueError):
+        print(
+            f"{report_path} has no totals.percent_covered — not a "
+            "coverage.py JSON report?",
+            file=sys.stderr,
+        )
+        return 2
+
+    ratchet = json.loads(RATCHET_PATH.read_text(encoding="utf-8"))
+    floor = float(ratchet["min_percent"])
+
+    print(f"coverage: {measured:.2f}% (floor {floor:.2f}%)")
+    if measured < floor:
+        print(
+            f"FAIL: total coverage {measured:.2f}% fell below the "
+            f"ratchet floor {floor:.2f}% — add tests for the code this "
+            "change introduced, or (only with a recorded justification) "
+            f"re-pin {RATCHET_PATH.name}",
+            file=sys.stderr,
+        )
+        return 1
+    if measured - floor > RAISE_HINT_MARGIN:
+        print(
+            f"hint: coverage exceeds the floor by "
+            f"{measured - floor:.2f} points; consider ratcheting "
+            f"min_percent up to {measured - 1.0:.1f} in {RATCHET_PATH.name}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
