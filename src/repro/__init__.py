@@ -66,6 +66,7 @@ from repro.multicast import (
     partition_fleet,
 )
 from repro.phy import AirtimeModel, CoverageClass
+from repro.service import CampaignHandle, CampaignService
 from repro.rrc import ProcedureTimings, RandomAccessModel
 from repro.scenarios import (
     ScenarioSpec,
@@ -145,6 +146,9 @@ __all__ = [
     "MultiCellSpec",
     "MultiCellReport",
     "partition_fleet",
+    # live service
+    "CampaignService",
+    "CampaignHandle",
     # sim
     "Simulator",
     "CampaignExecutor",

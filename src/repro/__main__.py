@@ -326,6 +326,50 @@ def _build_parser() -> argparse.ArgumentParser:
     grouping_actions.add_parser(
         "list", help="tabulate the registered grouping policies"
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "run a scripted live session: overlapping campaigns with "
+            "mid-campaign joins/leaves under capacity arbitration"
+        ),
+    )
+    serve.add_argument(
+        "--campaigns", type=int, default=2, help="number of campaigns"
+    )
+    serve.add_argument(
+        "--devices", type=int, default=12, help="devices per campaign"
+    )
+    serve.add_argument(
+        "--mechanism",
+        default="dr-sc",
+        choices=["dr-sc", "da-sc", "dr-si", "unicast"],
+    )
+    serve.add_argument("--payload", type=int, default=50_000)
+    serve.add_argument("--seed", type=int, default=2018)
+    serve.add_argument(
+        "--stagger",
+        type=int,
+        default=1024,
+        help="frames between campaign arrivals",
+    )
+    serve.add_argument(
+        "--joins", type=int, default=1,
+        help="devices joining the first campaign mid-flight",
+    )
+    serve.add_argument(
+        "--leaves", type=int, default=1,
+        help="devices leaving the last campaign mid-flight",
+    )
+    serve.add_argument(
+        "--record",
+        metavar="FILE",
+        default=None,
+        help=(
+            "save the live event log as a .npz run log "
+            "(diffable with `runs diff`)"
+        ),
+    )
     return parser
 
 
@@ -732,6 +776,108 @@ def _multicell(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    import asyncio
+
+    from repro.devices.device import NbIotDevice
+    from repro.drx.cycles import DrxCycle
+    from repro.experiments.reporting import Table, render_table
+    from repro.service import CampaignService
+    from repro.timebase import format_duration, frames_to_seconds
+
+    if args.campaigns < 1:
+        raise SystemExit("--campaigns must be >= 1")
+    leaves = min(args.leaves, max(0, args.devices - 1))
+    rng = generator_for(args.seed)
+    fleets = [
+        generate_fleet(args.devices, PAPER_DEFAULT_MIXTURE, rng)
+        for _ in range(args.campaigns)
+    ]
+    image = FirmwareImage(
+        name="live-fw", version="1.0.0", size_bytes=args.payload
+    )
+
+    async def session():
+        async with CampaignService(seed=args.seed) as service:
+            handles = []
+            for k, fleet in enumerate(fleets):
+                await service.advance_to(k * args.stagger)
+                handles.append(
+                    service.submit(
+                        fleet,
+                        image,
+                        mechanism=mechanism_by_name(args.mechanism),
+                        name=f"campaign-{k}",
+                    )
+                )
+            await service.advance_to(args.campaigns * args.stagger + 1024)
+            for j in range(args.joins):
+                joiner = NbIotDevice.build(
+                    imsi=900_000_000_000 + 37 * j,
+                    cycle=DrxCycle.from_seconds(20.48),
+                )
+                service.join(handles[0], joiner)
+            for device_index in range(leaves):
+                service.leave(handles[-1], device_index)
+            reports = {
+                handle.name: await service.result(handle)
+                for handle in handles
+            }
+            return service.live_log(), service.metrics(), reports
+
+    log, metrics, reports = asyncio.run(session())
+
+    rows = tuple(
+        (
+            name,
+            str(len(report.plan.directives)),
+            str(report.plan.n_transmissions),
+            format_duration(
+                frames_to_seconds(report.result.horizon_frames)
+            ),
+            str(report.paging.total_pages),
+            "yes" if report.paging.has_overflow else "no",
+        )
+        for name, report in reports.items()
+    )
+    print(render_table(Table(
+        title=(
+            f"Live session: {args.campaigns} campaigns x {args.devices} "
+            f"devices, {args.mechanism}, staggered {args.stagger} frames"
+        ),
+        headers=(
+            "campaign", "devices", "tx", "duration", "pages", "overflow"
+        ),
+        rows=rows,
+        notes=(
+            f"churn: {metrics.devices_joined} joined, "
+            f"{metrics.devices_left} left across {metrics.revisions} "
+            f"revisions; arbiter admitted {metrics.windows_admitted} "
+            f"windows, deferred {metrics.windows_deferred} "
+            f"(total shift {metrics.total_defer_frames} frames).",
+        ),
+    )))
+
+    if args.record is not None:
+        from repro.sim.eventlog import RunLog
+
+        runlog = RunLog(
+            meta={
+                "scenario": "serve-cli",
+                "seed": args.seed,
+                "run_index": 0,
+                "mechanism": args.mechanism,
+                "n_campaigns": args.campaigns,
+                "n_devices": args.devices,
+                "payload_bytes": args.payload,
+            },
+            cells={0: log},
+        )
+        path = runlog.save(args.record)
+        print(f"recorded live event log: {log.n_events} events -> {path}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point."""
     args = _build_parser().parse_args(argv)
@@ -780,6 +926,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "grouping":
         return _grouping_list()
+
+    if args.command == "serve":
+        return _serve(args)
 
     if args.command == "demo":
         rng = generator_for(args.seed)

@@ -14,9 +14,9 @@ and property tests, so executor results can trust plan invariants.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.devices.fleet import Fleet
 from repro.drx.cycles import DrxCycle
@@ -209,13 +209,21 @@ class MulticastPlan:
     # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
-    def validate(self, fleet: Fleet) -> None:
+    def validate(self, fleet: Fleet, *, partial: bool = False) -> None:
         """Check the plan against the fleet's actual paging schedules.
 
         Raises :class:`~repro.errors.PlanError` (or its subclass
         :class:`~repro.errors.CoverageError`) on the first violation.
+
+        ``partial=True`` relaxes only the completeness requirement —
+        fleet devices without a directive are allowed. Revised in-flight
+        plans are validated this way: the working fleet of a live
+        campaign keeps the devices that left (indices are append-only),
+        so full coverage is impossible by construction. Every other
+        invariant (no duplicate directives, transmission/directive
+        agreement, per-directive paging feasibility) still holds.
         """
-        self._validate_coverage(fleet)
+        self._validate_coverage(fleet, partial=partial)
         by_index = {t.index: t for t in self.transmissions}
         if sorted(by_index) != list(range(len(self.transmissions))):
             raise PlanError("transmission indices are not 0..k-1")
@@ -228,7 +236,7 @@ class MulticastPlan:
                 )
             self._validate_directive(fleet, directive, transmission)
 
-    def _validate_coverage(self, fleet: Fleet) -> None:
+    def _validate_coverage(self, fleet: Fleet, *, partial: bool = False) -> None:
         seen: Dict[int, int] = {}
         for directive in self.directives:
             if directive.device_index >= len(fleet):
@@ -242,7 +250,7 @@ class MulticastPlan:
                 )
             seen[directive.device_index] = directive.transmission_index
         missing = set(range(len(fleet))) - set(seen)
-        if missing:
+        if missing and not partial:
             raise CoverageError(
                 f"{len(missing)} devices uncovered, e.g. {sorted(missing)[:5]}"
             )
@@ -371,3 +379,307 @@ class MulticastPlan:
                 f"device {directive.device_index}: adapted page not after "
                 "the adaptation episode"
             )
+
+
+# ----------------------------------------------------------------------
+# Plan revision: diffing an in-flight plan against fleet churn
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanRevision:
+    """The delta between an in-flight plan and its revised successor.
+
+    A revision is computed by :func:`revise_plan` when devices join or
+    leave a live campaign. It carries the full revised plan *and* the
+    delta the service actually has to act on: only the joined devices
+    need new pages issued, only the retired windows need their scheduled
+    events cancelled — everything else continues untouched.
+
+    Attributes:
+        base: the in-flight plan the revision was computed against.
+        revised: the complete successor plan (working-fleet indices).
+        now_frame: the frame at which the revision took effect; windows
+            at or before it are frozen (already transmitted) and are
+            never moved or resized.
+        joined_directives: delta directives — one per joined device,
+            paging it into the nearest feasible window (or a new one).
+        retired_transmissions: base transmission indices dropped because
+            every member left.
+        transmission_map: (base index, revised index) pairs for every
+            surviving transmission.
+        resized_transmissions: revised indices whose bearer rate or
+            duration changed because membership changed.
+        new_transmissions: revised indices with no base ancestor (built
+            for joiners no existing window could serve).
+    """
+
+    base: MulticastPlan
+    revised: MulticastPlan
+    now_frame: int
+    joined_directives: Tuple[DeviceDirective, ...]
+    retired_transmissions: Tuple[int, ...]
+    transmission_map: Tuple[Tuple[int, int], ...]
+    resized_transmissions: Tuple[int, ...] = ()
+    new_transmissions: Tuple[int, ...] = ()
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the revision changes nothing."""
+        return (
+            not self.joined_directives
+            and not self.retired_transmissions
+            and not self.resized_transmissions
+            and not self.new_transmissions
+        )
+
+    def base_index_of(self, revised_index: int) -> Optional[int]:
+        """The base transmission behind ``revised_index`` (None if new)."""
+        for base_index, new_index in self.transmission_map:
+            if new_index == revised_index:
+                return base_index
+        return None
+
+
+class _WindowDraft:
+    """Mutable scratch for one transmission while a revision is built."""
+
+    __slots__ = ("base_index", "frame", "members", "rate_bps", "duration", "order")
+
+    def __init__(self, base_index, frame, members, rate_bps, duration, order):
+        self.base_index = base_index
+        self.frame = frame
+        self.members = members
+        self.rate_bps = rate_bps
+        self.duration = duration
+        self.order = order
+
+
+def _joiner_page_frame(
+    schedule: PoSchedule, window_start: int, frame: int, slack: int, now_frame: int
+) -> Optional[int]:
+    """The PO to page a joiner at inside ``[window_start, frame]``.
+
+    Mirrors the planners' latest-PO-with-slack preference but bounds the
+    page strictly after ``now_frame`` — a revision cannot page in the
+    past. Returns None when the device has no usable PO in the window.
+    """
+    lo = max(window_start, now_frame + 1)
+    preferred = schedule.last_at_or_before(frame - slack)
+    if preferred is not None and preferred >= lo:
+        return preferred
+    fallback = schedule.last_at_or_before(frame)
+    if fallback is not None and fallback >= lo:
+        return fallback
+    return None
+
+
+def revise_plan(
+    base: MulticastPlan,
+    fleet: Fleet,
+    *,
+    joined: Tuple[int, ...] = (),
+    left: Tuple[int, ...] = (),
+    now_frame: int,
+    context,
+) -> PlanRevision:
+    """Diff ``base`` against fleet churn and build its successor plan.
+
+    ``fleet`` is the campaign's *working* fleet: the submit-time fleet
+    with every joiner appended (indices are append-only, so directives
+    in ``base`` remain valid references). ``joined``/``left`` are
+    working-fleet indices taking effect at ``now_frame``.
+
+    Semantics:
+
+    * windows whose transmission frame is at or before ``now_frame`` are
+      frozen — leaves drop the member from the accounting, but the
+      window keeps its realised rate and duration;
+    * pending windows losing members are resized (bearer rate re-derived
+      from the surviving membership, paper Sec. II-A) and retired when
+      every member left;
+    * each joined device is re-paged into the *nearest feasible* pending
+      window — the earliest one containing a PO of the device that is
+      still in the future and leaves its connect slack — or, when no
+      window can serve it, a fresh single-member window anchored at its
+      next PO;
+    * surviving transmissions are renumbered in time order.
+
+    The revised plan is validated (``partial=True``: devices that left
+    stay in the working fleet without directives) before returning.
+
+    Raises :class:`PlanError` on contradictory churn — joining a device
+    that already has a directive, or removing one that has none.
+    """
+    from repro.phy.airtime import payload_airtime_frames
+
+    ti = base.inactivity_timer_frames
+    left_set = {int(i) for i in left}
+    joined_list = [int(i) for i in joined]
+    directive_of: Dict[int, DeviceDirective] = {
+        d.device_index: d for d in base.directives
+    }
+    for device_index in joined_list:
+        if device_index in directive_of:
+            raise PlanError(
+                f"device {device_index} already has a directive; it cannot "
+                "join the campaign again"
+            )
+        if device_index >= len(fleet):
+            raise PlanError(
+                f"joining device {device_index} outside working fleet of "
+                f"{len(fleet)}"
+            )
+    for device_index in left_set:
+        if device_index not in directive_of:
+            raise PlanError(
+                f"device {device_index} has no directive; it cannot leave"
+            )
+
+    # Surviving windows: frozen windows keep their realised shape,
+    # pending ones are resized once the final membership is known.
+    drafts: List[_WindowDraft] = []
+    retired: List[int] = []
+    for transmission in base.transmissions:
+        members = [i for i in transmission.device_indices if i not in left_set]
+        if not members:
+            retired.append(transmission.index)
+            continue
+        drafts.append(
+            _WindowDraft(
+                base_index=transmission.index,
+                frame=transmission.frame,
+                members=members,
+                rate_bps=transmission.rate_bps,
+                duration=transmission.duration_frames,
+                order=transmission.index,
+            )
+        )
+
+    # Re-page each joiner into the nearest feasible pending window.
+    joined_pages: Dict[int, Tuple[_WindowDraft, int]] = {}
+    next_order = len(base.transmissions)
+    for device_index in joined_list:
+        device = fleet[device_index]
+        slack = context.connect_slack_frames(device)
+        placed = None
+        for draft in sorted(drafts, key=lambda d: (d.frame, d.order)):
+            if draft.frame <= now_frame:
+                continue  # frozen: the transmission already happened
+            page = _joiner_page_frame(
+                device.schedule, draft.frame - ti, draft.frame, slack, now_frame
+            )
+            if page is not None:
+                placed = (draft, page)
+                break
+        if placed is None:
+            # No pending window can serve the joiner: open a fresh one
+            # at its next PO, leaving the connect slack (capped by the
+            # TI so the page stays inside the window).
+            page = device.schedule.first_at_or_after(now_frame + 1)
+            frame = page + min(max(slack, 1), ti)
+            draft = _WindowDraft(
+                base_index=None,
+                frame=frame,
+                members=[device_index],
+                rate_bps=0.0,  # sized below with every other pending window
+                duration=1,
+                order=next_order,
+            )
+            next_order += 1
+            drafts.append(draft)
+            placed = (draft, page)
+        else:
+            placed[0].members.append(device_index)
+        joined_pages[device_index] = placed
+
+    # Size pending windows whose membership changed (frozen windows and
+    # untouched pending windows keep their exact rate and duration).
+    resized_drafts: List[_WindowDraft] = []
+    for draft in drafts:
+        if draft.base_index is not None:
+            original = base.transmissions[draft.base_index]
+            if list(original.device_indices) == draft.members:
+                continue
+            if draft.frame <= now_frame:
+                continue
+        rate = fleet.group_rate_bps(draft.members)
+        duration = payload_airtime_frames(base.payload_bytes, rate)
+        if (
+            draft.base_index is None
+            or rate != draft.rate_bps
+            or duration != draft.duration
+        ):
+            resized_drafts.append(draft)
+        draft.rate_bps = rate
+        draft.duration = duration
+
+    # Renumber in time order (stable on the pre-revision order).
+    drafts.sort(key=lambda d: (d.frame, d.order))
+    transmission_map: List[Tuple[int, int]] = []
+    new_indices: List[int] = []
+    transmissions: List[Transmission] = []
+    index_of_draft: Dict[int, int] = {}
+    for new_index, draft in enumerate(drafts):
+        index_of_draft[id(draft)] = new_index
+        if draft.base_index is not None:
+            transmission_map.append((draft.base_index, new_index))
+        else:
+            new_indices.append(new_index)
+        transmissions.append(
+            Transmission(
+                index=new_index,
+                frame=draft.frame,
+                device_indices=tuple(draft.members),
+                rate_bps=draft.rate_bps,
+                duration_frames=draft.duration,
+            )
+        )
+
+    joined_directives: List[DeviceDirective] = []
+    for device_index in joined_list:
+        draft, page = joined_pages[device_index]
+        joined_directives.append(
+            DeviceDirective(
+                device_index=device_index,
+                transmission_index=index_of_draft[id(draft)],
+                method=WakeMethod.PAGED_IN_WINDOW,
+                page_frame=page,
+                connect_frame=page,
+            )
+        )
+
+    remap = dict(transmission_map)
+    directives: List[DeviceDirective] = []
+    for directive in base.directives:
+        if directive.device_index in left_set:
+            continue
+        new_index = remap[directive.transmission_index]
+        if new_index == directive.transmission_index:
+            directives.append(directive)
+        else:
+            directives.append(replace(directive, transmission_index=new_index))
+    directives.extend(joined_directives)
+
+    revised = MulticastPlan(
+        mechanism=base.mechanism,
+        standards_compliant=base.standards_compliant,
+        respects_preferred_drx=base.respects_preferred_drx,
+        announce_frame=base.announce_frame,
+        inactivity_timer_frames=ti,
+        payload_bytes=base.payload_bytes,
+        transmissions=tuple(transmissions),
+        directives=tuple(directives),
+        grouping=base.grouping,
+    )
+    revised.validate(fleet, partial=True)
+    return PlanRevision(
+        base=base,
+        revised=revised,
+        now_frame=now_frame,
+        joined_directives=tuple(joined_directives),
+        retired_transmissions=tuple(retired),
+        transmission_map=tuple(transmission_map),
+        resized_transmissions=tuple(
+            sorted(index_of_draft[id(d)] for d in resized_drafts)
+        ),
+        new_transmissions=tuple(new_indices),
+    )

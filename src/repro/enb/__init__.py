@@ -8,8 +8,14 @@ resources those actions consume.
 """
 
 from repro.enb.cell import CellConfig
-from repro.enb.paging_channel import PagingChannel, PagingLoadReport
-from repro.enb.scheduler import DownlinkScheduler, ScheduledTransmission, UtilizationReport
+from repro.enb.paging_channel import PagingChannel, PagingLoadReport, PagingOccupancy
+from repro.enb.scheduler import (
+    CarrierOccupancy,
+    DownlinkScheduler,
+    ScheduledTransmission,
+    UtilizationReport,
+)
+from repro.enb.arbiter import Admission, CapacityArbiter
 from repro.enb.bearer import MulticastBearer
 from repro.enb.enb import ENodeB
 
@@ -17,9 +23,13 @@ __all__ = [
     "CellConfig",
     "PagingChannel",
     "PagingLoadReport",
+    "PagingOccupancy",
     "DownlinkScheduler",
     "ScheduledTransmission",
     "UtilizationReport",
+    "CarrierOccupancy",
+    "Admission",
+    "CapacityArbiter",
     "MulticastBearer",
     "ENodeB",
 ]

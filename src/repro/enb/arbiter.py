@@ -1,0 +1,182 @@
+"""Per-cell capacity arbitration across overlapping campaigns.
+
+The batch pipeline audits one campaign at a time, so its capacity
+checks are retrospective (``UtilizationReport``, ``PagingLoadReport``).
+A live cell runs several campaigns at once, all drawing on the same
+paging channel and NPDSCH airtime. The :class:`CapacityArbiter` is the
+admission point those campaigns share: every transmission window is
+presented before its events are scheduled, and the arbiter either
+
+* **admits** it as requested,
+* **defers** it — shifts the start later (first-fit past the foreign
+  windows it collided with) while every already-issued page stays
+  inside the shifted TI-window, or
+* **rejects** it when no shift within ``max_defer_frames`` resolves the
+  airtime conflict, or its pages would overflow a paging occasion.
+
+Within-campaign overlap is *not* a conflict: a single campaign under
+the service must behave exactly as it does under the batch
+``deliver`` path, which tolerates (and merely counts) such pairs.
+Paging-record reservations are all-or-nothing per window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.enb.cell import CellConfig
+from repro.enb.paging_channel import PagingOccupancy
+from repro.enb.scheduler import CarrierOccupancy
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The arbiter's decision on one transmission window.
+
+    Attributes:
+        admitted: True when the window may be scheduled.
+        shift_frames: frames the start was deferred by (0 = as asked).
+        start_frame: the admitted start (requested start + shift).
+        token: occupancy token for :meth:`CapacityArbiter.release`
+            (None when rejected).
+        reason: why a rejected window was refused ("airtime" or
+            "paging"); None when admitted.
+    """
+
+    admitted: bool
+    shift_frames: int
+    start_frame: int
+    token: Optional[int] = None
+    reason: Optional[str] = None
+
+    @property
+    def deferred(self) -> bool:
+        """True when admitted later than requested."""
+        return self.admitted and self.shift_frames > 0
+
+
+class CapacityArbiter:
+    """Admission control for one cell's shared downlink resources."""
+
+    def __init__(
+        self,
+        cell: Optional[CellConfig] = None,
+        *,
+        max_defer_frames: int = 2048,
+    ) -> None:
+        """``max_defer_frames`` bounds how far a window may be pushed
+        past its requested start before the arbiter rejects it (default:
+        one inactivity timer, 20.48 s)."""
+        if max_defer_frames < 0:
+            raise ConfigurationError(
+                f"max_defer_frames must be >= 0, got {max_defer_frames}"
+            )
+        cell = cell if cell is not None else CellConfig()
+        self._max_defer = max_defer_frames
+        self._carrier = CarrierOccupancy()
+        self._paging = PagingOccupancy(max_records=cell.max_paging_records)
+        self._pages_of: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+
+    @property
+    def paging(self) -> PagingOccupancy:
+        """The shared paging-record ledger."""
+        return self._paging
+
+    @property
+    def carrier(self) -> CarrierOccupancy:
+        """The shared NPDSCH airtime ledger."""
+        return self._carrier
+
+    def admit(
+        self,
+        campaign: object,
+        start_frame: int,
+        duration_frames: int,
+        *,
+        pages: Sequence[Tuple[int, int]] = (),
+        max_shift_frames: Optional[int] = None,
+    ) -> Admission:
+        """Present one transmission window for admission.
+
+        Args:
+            campaign: the owning campaign (any hashable identity);
+                windows of the same campaign never conflict with each
+                other.
+            start_frame: requested start of the window's transmission.
+            duration_frames: its NPDSCH airtime.
+            pages: (frame, subframe) paging occasions the window's
+                members are paged at — reserved all-or-nothing.
+            max_shift_frames: window-specific deferral cap (e.g. the
+                slack before the earliest page would fall outside the
+                shifted TI-window); the effective cap is the minimum of
+                this and the arbiter-wide ``max_defer_frames``.
+
+        Returns:
+            An :class:`Admission`. On success the window and its pages
+            are committed to the ledgers; a rejection commits nothing.
+        """
+        if not self._paging.reserve(pages):
+            return Admission(
+                admitted=False,
+                shift_frames=0,
+                start_frame=start_frame,
+                reason="paging",
+            )
+        cap = self._max_defer
+        if max_shift_frames is not None:
+            cap = min(cap, max(0, max_shift_frames))
+        shift = self._first_fit_shift(
+            campaign, start_frame, duration_frames, cap
+        )
+        if shift is None:
+            self._paging.release(pages)
+            return Admission(
+                admitted=False,
+                shift_frames=0,
+                start_frame=start_frame,
+                reason="airtime",
+            )
+        token = self._carrier.add(
+            campaign, start_frame + shift, duration_frames
+        )
+        self._pages_of[token] = tuple(pages)
+        return Admission(
+            admitted=True,
+            shift_frames=shift,
+            start_frame=start_frame + shift,
+            token=token,
+        )
+
+    def release(self, token: int) -> None:
+        """Release an admitted window and its paging reservations.
+
+        Used when a plan revision retires a window whose members all
+        left before it transmitted.
+        """
+        self._carrier.remove(token)
+        self._paging.release(self._pages_of.pop(token))
+
+    def _first_fit_shift(
+        self,
+        campaign: object,
+        start_frame: int,
+        duration_frames: int,
+        cap: int,
+    ) -> Optional[int]:
+        """Smallest shift in ``[0, cap]`` clearing all foreign windows.
+
+        Sweeps candidate starts: each conflict pushes the candidate to
+        the end of the latest colliding foreign window. Terminates
+        because every iteration strictly advances past a conflict.
+        """
+        candidate = start_frame
+        while candidate - start_frame <= cap:
+            hits = self._carrier.conflicts(
+                candidate, duration_frames, owner=campaign
+            )
+            if not hits:
+                return candidate - start_frame
+            candidate = max(end for _, end in hits)
+        return None

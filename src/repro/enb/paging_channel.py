@@ -128,3 +128,71 @@ class PagingChannel:
             max_records_in_message=max_in_message,
             overflowed=tuple(overflowed),
         )
+
+
+class PagingOccupancy:
+    """Live paging-record ledger shared by every campaign in a cell.
+
+    :class:`PagingChannel` packs one finished plan; this ledger instead
+    tracks how many records each paging occasion already carries across
+    *all* in-flight campaigns, so the capacity arbiter can refuse a new
+    window whose pages would push some PO past ``max_records``.
+
+    Reservations are all-or-nothing: either every requested occasion
+    still has room (and all are taken together), or nothing is reserved.
+    """
+
+    def __init__(self, max_records: int = 16) -> None:
+        if max_records < 1:
+            raise CapacityError(f"max_records must be >= 1, got {max_records}")
+        self._max_records = max_records
+        self._records: Dict[Tuple[int, int], int] = defaultdict(int)
+
+    @property
+    def max_records(self) -> int:
+        """Record capacity of one paging message."""
+        return self._max_records
+
+    def records_at(self, frame: int, subframe: int) -> int:
+        """Records currently reserved at the PO ``(frame, subframe)``."""
+        return self._records.get((frame, subframe), 0)
+
+    def can_accept(self, occasions: Sequence[Tuple[int, int]]) -> bool:
+        """True when every occasion (with multiplicity) still has room."""
+        needed: Dict[Tuple[int, int], int] = defaultdict(int)
+        for po in occasions:
+            needed[po] += 1
+        return all(
+            self._records.get(po, 0) + count <= self._max_records
+            for po, count in needed.items()
+        )
+
+    def reserve(self, occasions: Sequence[Tuple[int, int]]) -> bool:
+        """Reserve one record per occasion, all-or-nothing.
+
+        Returns True and takes every record when the whole batch fits;
+        returns False and reserves *nothing* when any PO would overflow.
+        """
+        if not self.can_accept(occasions):
+            return False
+        for po in occasions:
+            self._records[po] += 1
+        return True
+
+    def release(self, occasions: Sequence[Tuple[int, int]]) -> None:
+        """Return previously reserved records (e.g. a retired window).
+
+        Raises :class:`CapacityError` on releasing more records at a PO
+        than are held — that is always an accounting bug upstream.
+        """
+        for frame, subframe in occasions:
+            held = self._records.get((frame, subframe), 0)
+            if held <= 0:
+                raise CapacityError(
+                    f"release at PO (frame={frame}, sf={subframe}) "
+                    "without a matching reservation"
+                )
+            if held == 1:
+                del self._records[(frame, subframe)]
+            else:
+                self._records[(frame, subframe)] = held - 1

@@ -12,7 +12,7 @@ payloads).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.timebase import frames_to_seconds
@@ -97,7 +97,11 @@ class DownlinkScheduler:
 
     @staticmethod
     def _count_overlaps(transmissions: Sequence[ScheduledTransmission]) -> int:
-        """Number of overlapping pairs via a sweep with an end-time heap."""
+        """Number of overlapping pairs via a sweep with an end-time heap.
+
+        O(n log n); :meth:`_count_overlaps_reference` is the O(n^2)
+        specification it must agree with (property-tested).
+        """
         import heapq
 
         intervals: List[Tuple[int, int]] = sorted(
@@ -111,3 +115,79 @@ class DownlinkScheduler:
             overlaps += len(active_ends)
             heapq.heappush(active_ends, end)
         return overlaps
+
+    @staticmethod
+    def _count_overlaps_reference(
+        transmissions: Sequence[ScheduledTransmission],
+    ) -> int:
+        """Direct pairwise definition of overlap counting.
+
+        Quadratic and only used as the equivalence oracle for the sweep
+        in property tests — two half-open intervals overlap iff each
+        starts before the other ends.
+        """
+        overlaps = 0
+        for i, a in enumerate(transmissions):
+            for b in transmissions[i + 1 :]:
+                if a.start_frame < b.end_frame and b.start_frame < a.end_frame:
+                    overlaps += 1
+        return overlaps
+
+
+class CarrierOccupancy:
+    """Live NPDSCH airtime ledger shared by every campaign in a cell.
+
+    :class:`DownlinkScheduler` audits one finished plan;  this ledger
+    instead tracks the admitted transmission windows of *all* in-flight
+    campaigns so the capacity arbiter can detect cross-campaign airtime
+    conflicts before committing a new window.
+
+    Windows are half-open frame intervals owned by a campaign. Overlap
+    *within* one campaign is deliberately not a conflict — the batch
+    pipeline has always permitted it (``UtilizationReport`` merely
+    counts such pairs), and treating it as one would make a lone
+    campaign behave differently under the service than under
+    ``deliver``.
+    """
+
+    def __init__(self) -> None:
+        self._next_token = 0
+        self._windows: Dict[int, Tuple[object, int, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._windows)
+
+    def add(self, owner: object, start_frame: int, duration_frames: int) -> int:
+        """Register an admitted window; returns a token for :meth:`remove`."""
+        if duration_frames < 1:
+            raise ConfigurationError(
+                f"duration must be >= 1 frame, got {duration_frames}"
+            )
+        token = self._next_token
+        self._next_token += 1
+        self._windows[token] = (owner, start_frame, start_frame + duration_frames)
+        return token
+
+    def remove(self, token: int) -> None:
+        """Release a window (retired by a plan revision)."""
+        if token not in self._windows:
+            raise ConfigurationError(f"unknown occupancy token {token}")
+        del self._windows[token]
+
+    def conflicts(
+        self, start_frame: int, duration_frames: int, *, owner: object
+    ) -> List[Tuple[int, int]]:
+        """Foreign intervals overlapping ``[start, start+duration)``.
+
+        Returns the (start, end) frame intervals of every window owned
+        by a *different* campaign that overlaps the candidate, sorted by
+        start frame. Empty means the window can be admitted as-is.
+        """
+        end_frame = start_frame + duration_frames
+        hits = [
+            (w_start, w_end)
+            for w_owner, w_start, w_end in self._windows.values()
+            if w_owner != owner and w_start < end_frame and start_frame < w_end
+        ]
+        hits.sort()
+        return hits

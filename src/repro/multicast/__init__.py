@@ -13,7 +13,11 @@ on-demand scheme exists to avoid — used by the A5 ablation bench.
 """
 
 from repro.multicast.payload import FirmwareImage
-from repro.multicast.ondemand import CampaignReport, OnDemandMulticastService
+from repro.multicast.ondemand import (
+    CampaignReport,
+    OnDemandMulticastService,
+    PendingCampaign,
+)
 from repro.multicast.scptm import ScPtmConfig, scptm_monitoring_overhead_s
 from repro.multicast.coordination import (
     CellCampaign,
@@ -35,6 +39,7 @@ __all__ = [
     "FirmwareImage",
     "OnDemandMulticastService",
     "CampaignReport",
+    "PendingCampaign",
     "ScPtmConfig",
     "scptm_monitoring_overhead_s",
     "CellCampaign",

@@ -13,21 +13,38 @@ This is the high-level public API the examples use::
     service = OnDemandMulticastService(mechanism=DaScMechanism())
     report = service.deliver(fleet, image, rng=rng)
     print(report.summary())
+
+``deliver`` is the one-shot batch path. The same pipeline is also
+available in three stages — :meth:`~OnDemandMulticastService.submit`
+(plan), :meth:`~OnDemandMulticastService.revise` (apply mid-campaign
+joins/leaves via :func:`~repro.core.plan.revise_plan`) and
+:meth:`~OnDemandMulticastService.complete` (account + execute) — which
+is what the live :mod:`repro.service` facade drives. A submit/complete
+pair with no churn is *bit-identical* to ``deliver`` with the same
+generator: both consume the rng in the same order (plan, then execute).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
 from repro.core.base import GroupingMechanism, PlanningContext
-from repro.core.plan import MulticastPlan, WakeMethod
+from repro.core.plan import (
+    MulticastPlan,
+    PlanRevision,
+    Transmission,
+    WakeMethod,
+    revise_plan,
+)
+from repro.devices.device import NbIotDevice
 from repro.devices.fleet import Fleet
 from repro.enb.enb import ENodeB
 from repro.enb.paging_channel import PagingLoadReport
 from repro.enb.scheduler import ScheduledTransmission, UtilizationReport
+from repro.errors import PlanError
 from repro.multicast.payload import FirmwareImage
 from repro.rrc.procedures import ProcedureTimings
 from repro.sim.executor import CampaignExecutor
@@ -65,6 +82,41 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+@dataclass
+class PendingCampaign:
+    """A submitted campaign that has not completed yet.
+
+    Returned by :meth:`OnDemandMulticastService.submit`; mutated in
+    place by :meth:`OnDemandMulticastService.revise` as devices join or
+    leave. The *working fleet* is append-only — joiners are appended,
+    leavers stay in the fleet (recorded in :attr:`left`) so no index
+    ever shifts mid-campaign — and :meth:`OnDemandMulticastService.
+    complete` strips the leavers out when building the final report.
+
+    Attributes:
+        image: the payload being delivered.
+        context: the planning context the campaign was planned under.
+        fleet: the working fleet (submit fleet + every joiner).
+        plan: the current plan (revised on churn).
+        left: working-fleet indices of devices that left.
+        revisions: every :class:`~repro.core.plan.PlanRevision` applied.
+    """
+
+    image: FirmwareImage
+    context: PlanningContext
+    fleet: Fleet
+    plan: MulticastPlan
+    left: Set[int] = field(default_factory=set)
+    revisions: List[PlanRevision] = field(default_factory=list)
+
+    @property
+    def active_members(self) -> Tuple[int, ...]:
+        """Working-fleet indices still part of the campaign."""
+        return tuple(
+            i for i in range(len(self.fleet)) if i not in self.left
+        )
+
+
 class OnDemandMulticastService:
     """Delivers content to a device list via a grouping mechanism."""
 
@@ -96,7 +148,25 @@ class OnDemandMulticastService:
         rng: Optional[np.random.Generator] = None,
         announce_frame: int = 0,
     ) -> CampaignReport:
-        """Run a full campaign: plan, validate, account, execute."""
+        """Run a full campaign: plan, validate, account, execute.
+
+        Equivalent to :meth:`submit` immediately followed by
+        :meth:`complete` with the same generator — the staged path
+        exists for the live service, which revises plans in between.
+        """
+        pending = self.submit(
+            fleet, image, rng=rng, announce_frame=announce_frame
+        )
+        return self.complete(pending, rng=rng)
+
+    def submit(
+        self,
+        fleet: Fleet,
+        image: FirmwareImage,
+        rng: Optional[np.random.Generator] = None,
+        announce_frame: int = 0,
+    ) -> PendingCampaign:
+        """Plan and validate a campaign without executing it."""
         context = PlanningContext(
             payload_bytes=image.size_bytes,
             cell=self._enb.cell,
@@ -104,6 +174,64 @@ class OnDemandMulticastService:
             announce_frame=announce_frame,
         )
         plan = self._mechanism.plan(fleet, context, rng)
+        plan.validate(fleet)
+        return PendingCampaign(
+            image=image, context=context, fleet=fleet, plan=plan
+        )
+
+    def revise(
+        self,
+        pending: PendingCampaign,
+        *,
+        joined_devices: Sequence[NbIotDevice] = (),
+        left: Sequence[int] = (),
+        now_frame: int = 0,
+    ) -> PlanRevision:
+        """Apply mid-campaign churn to a pending campaign.
+
+        ``joined_devices`` are appended to the working fleet (their
+        indices never collide with existing members); ``left`` are
+        working-fleet indices leaving at ``now_frame``. The pending
+        campaign's fleet and plan are updated in place and the
+        :class:`~repro.core.plan.PlanRevision` delta is returned.
+        """
+        for index in left:
+            if index in pending.left:
+                raise PlanError(f"device {index} already left the campaign")
+        if joined_devices:
+            working = Fleet(
+                list(pending.fleet.devices) + list(joined_devices)
+            )
+        else:
+            working = pending.fleet
+        joined = tuple(range(len(pending.fleet), len(working)))
+        revision = revise_plan(
+            pending.plan,
+            working,
+            joined=joined,
+            left=tuple(left),
+            now_frame=now_frame,
+            context=pending.context,
+        )
+        pending.fleet = working
+        pending.plan = revision.revised
+        pending.left.update(int(i) for i in left)
+        pending.revisions.append(revision)
+        return revision
+
+    def complete(
+        self,
+        pending: PendingCampaign,
+        rng: Optional[np.random.Generator] = None,
+    ) -> CampaignReport:
+        """Account and execute a pending campaign's current plan.
+
+        Devices that left are stripped out first (the working fleet
+        keeps them only so indices stay stable mid-flight); the final
+        plan is fully validated, then packed and executed exactly as
+        :meth:`deliver` would.
+        """
+        fleet, plan = _strip_left(pending.fleet, pending.plan, pending.left)
         plan.validate(fleet)
         paging = self._pack_paging(fleet, plan)
         result = self._executor.execute(fleet, plan, rng=rng)
@@ -143,3 +271,45 @@ class OnDemandMulticastService:
                     (directive.device_index, directive.adaptation_page_frame)
                 )
         return self._enb.pack_pages(fleet, pages, notifications)
+
+
+def _strip_left(
+    fleet: Fleet, plan: MulticastPlan, left: Set[int]
+) -> Tuple[Fleet, MulticastPlan]:
+    """Remove departed devices from a working fleet/plan pair.
+
+    Revisions already dropped the leavers from every transmission and
+    directive; what remains is compacting the fleet and remapping the
+    surviving device indices. No-op (identity) when nothing left.
+    """
+    if not left:
+        return fleet, plan
+    keep = [i for i in range(len(fleet)) if i not in left]
+    remap: Dict[int, int] = {old: new for new, old in enumerate(keep)}
+    final_fleet = Fleet([fleet[i] for i in keep])
+    transmissions = tuple(
+        Transmission(
+            index=t.index,
+            frame=t.frame,
+            device_indices=tuple(remap[i] for i in t.device_indices),
+            rate_bps=t.rate_bps,
+            duration_frames=t.duration_frames,
+        )
+        for t in plan.transmissions
+    )
+    directives = tuple(
+        replace(d, device_index=remap[d.device_index])
+        for d in plan.directives
+    )
+    final_plan = MulticastPlan(
+        mechanism=plan.mechanism,
+        standards_compliant=plan.standards_compliant,
+        respects_preferred_drx=plan.respects_preferred_drx,
+        announce_frame=plan.announce_frame,
+        inactivity_timer_frames=plan.inactivity_timer_frames,
+        payload_bytes=plan.payload_bytes,
+        transmissions=transmissions,
+        directives=directives,
+        grouping=plan.grouping,
+    )
+    return final_fleet, final_plan

@@ -5,12 +5,17 @@ A binary-heap scheduler with a strict total order on events:
 resolved first by an explicit priority (e.g. a transmission must start
 after the last CONNECTION_READY at the same instant) and then by
 insertion order, making runs bit-reproducible.
+
+Scheduling returns an integer handle; :meth:`Simulator.cancel` removes
+a not-yet-fired event (lazily — the heap entry is tombstoned and
+skipped when it surfaces), which is what lets the campaign service
+retire transmissions when devices leave and reschedule them on replans.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.sim.events import Event
@@ -28,6 +33,7 @@ class Simulator:
         self._seq = 0
         self._now = 0.0
         self._tracing = trace
+        self._live: Set[int] = set()
         self.trace: List[Event] = []
 
     @property
@@ -37,42 +43,89 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued."""
-        return len(self._queue)
+        """Number of events still queued (cancelled tombstones excluded)."""
+        return len(self._live)
 
     def schedule(
         self,
         event: Event,
         callback: Callable[[Event], None],
         priority: int = 0,
-    ) -> None:
-        """Queue ``event`` to run ``callback`` at ``event.time_s``."""
+    ) -> int:
+        """Queue ``event`` to run ``callback`` at ``event.time_s``.
+
+        Returns a handle accepted by :meth:`cancel`.
+        """
         if event.time_s < self._now - 1e-12:
             raise SimulationError(
                 f"cannot schedule {event.kind.value} at {event.time_s:.6f}s "
                 f"in the past (now={self._now:.6f}s)"
             )
+        handle = self._seq
         heapq.heappush(
-            self._queue, (event.time_s, priority, self._seq, event, callback)
+            self._queue, (event.time_s, priority, handle, event, callback)
         )
         self._seq += 1
+        self._live.add(handle)
+        return handle
+
+    def cancel(self, handle: int) -> bool:
+        """Cancel the pending event behind ``handle``.
+
+        Returns True when the event was still pending and is now
+        guaranteed never to fire; False when there is nothing left to
+        cancel — the event already fired, was already cancelled, or the
+        handle was never issued. The heap entry stays behind as a
+        tombstone and is discarded when it reaches the front, so
+        cancellation is O(1) and never perturbs the order of the
+        surviving events.
+        """
+        if handle not in self._live:
+            return False
+        self._live.discard(handle)
+        return True
 
     def run(self, until_s: Optional[float] = None) -> int:
         """Process events (optionally only up to ``until_s``).
 
         Returns the number of events executed. Events scheduled beyond
         ``until_s`` stay in the queue (the clock does not advance past
-        them), so a later ``run`` call can continue.
+        them), so a later ``run`` call can continue. Cancelled events
+        are skipped without advancing the clock.
         """
         executed = 0
         while self._queue:
-            time_s, _, _, event, callback = self._queue[0]
+            time_s, _, seq, event, callback = self._queue[0]
+            if seq not in self._live:
+                heapq.heappop(self._queue)  # tombstone of a cancelled event
+                continue
             if until_s is not None and time_s > until_s:
                 break
             heapq.heappop(self._queue)
+            self._live.discard(seq)
             self._now = time_s
             if self._tracing:
                 self.trace.append(event)
             callback(event)
             executed += 1
         return executed
+
+    def step(self) -> int:
+        """Execute at most one event; returns the number executed (0/1).
+
+        The campaign service's async surface pumps the engine one event
+        at a time so concurrently awaited campaigns interleave while the
+        execution order stays exactly the heap order.
+        """
+        while self._queue:
+            time_s, _, seq, event, callback = self._queue[0]
+            heapq.heappop(self._queue)
+            if seq not in self._live:
+                continue
+            self._live.discard(seq)
+            self._now = time_s
+            if self._tracing:
+                self.trace.append(event)
+            callback(event)
+            return 1
+        return 0

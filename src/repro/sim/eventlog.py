@@ -66,7 +66,16 @@ SCHEMA_VERSION = 1
 #: TX_START            realised start (s)           bearer rate (bit/s)
 #: TX_END              delivery end (s)             —
 #: REPAIR_ROUND        segments sent this round     round number (1-based)
+#: CAMPAIGN_SUBMIT     member count                 transmission count
+#: CAMPAIGN_REVISE     devices joined               devices left
+#: CAMPAIGN_ADMIT      transmission index           shift (frames, 0=as asked)
+#: CAMPAIGN_DEFER      transmission index           shift (frames)
+#: DEVICE_JOIN         —                            —
+#: DEVICE_LEAVE        —                            —
 #: ==================  ===========================  =======================
+#:
+#: The six CAMPAIGN_*/DEVICE_* kinds are emitted by the live campaign
+#: service (:mod:`repro.service`); ``group`` carries the campaign id.
 EVENT_DTYPE = np.dtype(
     [
         ("frame", np.int64),
@@ -91,6 +100,12 @@ KIND_CODES: Dict[EventKind, int] = {
     EventKind.TX_END: 8,
     EventKind.DEVICE_DONE: 9,
     EventKind.REPAIR_ROUND: 10,
+    EventKind.CAMPAIGN_SUBMIT: 11,
+    EventKind.CAMPAIGN_REVISE: 12,
+    EventKind.CAMPAIGN_ADMIT: 13,
+    EventKind.CAMPAIGN_DEFER: 14,
+    EventKind.DEVICE_JOIN: 15,
+    EventKind.DEVICE_LEAVE: 16,
 }
 
 CODE_TO_KIND: Dict[int, EventKind] = {code: kind for kind, code in KIND_CODES.items()}
@@ -307,6 +322,92 @@ def repair_round_rows(
         rows["a"][i] = float(segments)
         rows["b"][i] = float(i + 1)
     return rows
+
+
+# ----------------------------------------------------------------------
+# Live service metrics: campaign-kind rollup
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LiveMetrics:
+    """Rollup of the campaign-service events in a log.
+
+    Computed by :func:`live_metrics` over the six CAMPAIGN_*/DEVICE_*
+    kinds the live service emits (``group`` carries the campaign id).
+
+    Attributes:
+        campaigns: number of CAMPAIGN_SUBMIT events.
+        revisions: number of CAMPAIGN_REVISE events.
+        devices_joined: total devices that joined mid-campaign.
+        devices_left: total devices that left mid-campaign.
+        windows_admitted: windows the arbiter admitted (ADMIT events,
+            including deferred ones).
+        windows_deferred: admitted windows that were shifted (DEFER).
+        total_defer_frames: summed shift over all deferred windows.
+        per_campaign: campaign id -> per-kind event counts.
+    """
+
+    campaigns: int
+    revisions: int
+    devices_joined: int
+    devices_left: int
+    windows_admitted: int
+    windows_deferred: int
+    total_defer_frames: int
+    per_campaign: Dict[int, Dict[str, int]]
+
+    @property
+    def churn(self) -> int:
+        """Total membership changes (joins + leaves)."""
+        return self.devices_joined + self.devices_left
+
+
+def live_metrics(log: Union["EventLog", np.ndarray]) -> LiveMetrics:
+    """Summarise the campaign-service activity recorded in ``log``.
+
+    Accepts an :class:`EventLog` or a raw row array. Logs written by the
+    batch pipeline contain no service kinds and roll up to all-zeros.
+    """
+    events = log.events if isinstance(log, EventLog) else np.asarray(log)
+    service_codes = {
+        KIND_CODES[kind]: kind
+        for kind in (
+            EventKind.CAMPAIGN_SUBMIT,
+            EventKind.CAMPAIGN_REVISE,
+            EventKind.CAMPAIGN_ADMIT,
+            EventKind.CAMPAIGN_DEFER,
+            EventKind.DEVICE_JOIN,
+            EventKind.DEVICE_LEAVE,
+        )
+    }
+    per_campaign: Dict[int, Dict[str, int]] = {}
+    revise_rows = events[
+        events["kind"] == KIND_CODES[EventKind.CAMPAIGN_REVISE]
+    ]
+    defer_rows = events[events["kind"] == KIND_CODES[EventKind.CAMPAIGN_DEFER]]
+    for row in events:
+        kind = service_codes.get(int(row["kind"]))
+        if kind is None:
+            continue
+        counters = per_campaign.setdefault(int(row["group"]), {})
+        counters[kind.value] = counters.get(kind.value, 0) + 1
+    return LiveMetrics(
+        campaigns=int(
+            np.count_nonzero(
+                events["kind"] == KIND_CODES[EventKind.CAMPAIGN_SUBMIT]
+            )
+        ),
+        revisions=int(revise_rows.size),
+        devices_joined=int(revise_rows["a"].sum()),
+        devices_left=int(revise_rows["b"].sum()),
+        windows_admitted=int(
+            np.count_nonzero(
+                events["kind"] == KIND_CODES[EventKind.CAMPAIGN_ADMIT]
+            )
+        ),
+        windows_deferred=int(defer_rows.size),
+        total_defer_frames=int(defer_rows["b"].sum()),
+        per_campaign=per_campaign,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -40,6 +40,31 @@ class EventKind(Enum):
     REPAIR_ROUND = "repair_round"
     """Log-only: one application-layer repair round completed."""
 
+    CAMPAIGN_SUBMIT = "campaign_submit"
+    """Service: a campaign was submitted and planned."""
+
+    CAMPAIGN_REVISE = "campaign_revise"
+    """Service: an in-flight campaign's plan was revised (join/leave)."""
+
+    CAMPAIGN_ADMIT = "campaign_admit"
+    """Service: the capacity arbiter admitted a transmission window."""
+
+    CAMPAIGN_DEFER = "campaign_defer"
+    """Service: the arbiter deferred a window past a capacity conflict."""
+
+    DEVICE_JOIN = "device_join"
+    """Service: a device joined an in-flight campaign."""
+
+    DEVICE_LEAVE = "device_leave"
+    """Service: a device left an in-flight campaign."""
+
+    CAMPAIGN_COMPLETE = "campaign_complete"
+    """Sim-internal: a campaign's last window passed (never logged)."""
+
+    SERVICE_TICK = "service_tick"
+    """Sim-internal: a sentinel the service awaits to advance the clock
+    to a scripted frame (never logged)."""
+
 
 @dataclass(frozen=True)
 class Event:

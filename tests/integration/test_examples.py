@@ -22,6 +22,7 @@ def test_examples_directory_complete():
         "custom_mechanism.py",
         "mechanism_walkthrough.py",
         "battery_lifetime.py",
+        "live_campaigns.py",
     } <= names
 
 
@@ -30,6 +31,16 @@ def test_quickstart_runs(capsys):
     out = capsys.readouterr().out
     assert "mechanism" in out
     assert "dr-sc" in out and "da-sc" in out and "dr-si" in out
+
+
+def test_live_campaigns_runs(capsys):
+    runpy.run_path(
+        str(EXAMPLES / "live_campaigns.py"), run_name="__main__"
+    )
+    out = capsys.readouterr().out
+    assert "live session" in out
+    assert "churn: +1/-1" in out
+    assert "deferred" in out
 
 
 def test_walkthrough_runs(capsys):

@@ -67,6 +67,26 @@ class TestCli:
         out = capsys.readouterr().out
         assert "mechanism" in out and "da-sc" in out
 
+    def test_serve_command(self, capsys, tmp_path):
+        record = tmp_path / "serve.npz"
+        exit_code = main(
+            ["serve", "--campaigns", "2", "--devices", "10",
+             "--seed", "11", "--record", str(record)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "campaign-0" in out and "campaign-1" in out
+        assert record.exists()
+
+    def test_serve_records_are_bit_identical(self, capsys, tmp_path):
+        a, b = tmp_path / "a.npz", tmp_path / "b.npz"
+        argv = ["serve", "--campaigns", "2", "--devices", "10", "--seed", "4"]
+        assert main(argv + ["--record", str(a)]) == 0
+        assert main(argv + ["--record", str(b)]) == 0
+        capsys.readouterr()
+        assert main(["runs", "diff", str(a), str(b)]) == 0
+        assert "event-identical" in capsys.readouterr().out
+
     def test_figures_command_small(self, capsys):
         exit_code = main(
             ["figures", "--figure", "a5", "--runs", "1", "--devices", "30"]

@@ -1,0 +1,38 @@
+"""Property: the overlap-counting sweep matches its pairwise oracle.
+
+``DownlinkScheduler._count_overlaps`` is an O(n log n) sweep with an
+end-time heap; ``_count_overlaps_reference`` is the O(n^2) definition
+(count pairs of half-open intervals that intersect). They must agree on
+every interval multiset, including heavy ties and nested intervals.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enb.scheduler import DownlinkScheduler, ScheduledTransmission
+
+transmissions = st.lists(
+    st.builds(
+        ScheduledTransmission,
+        start_frame=st.integers(min_value=0, max_value=200),
+        duration_frames=st.integers(min_value=1, max_value=50),
+        group_size=st.just(1),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(transmissions)
+def test_sweep_matches_pairwise_reference(txs):
+    assert DownlinkScheduler._count_overlaps(
+        txs
+    ) == DownlinkScheduler._count_overlaps_reference(txs)
+
+
+@settings(max_examples=100, deadline=None)
+@given(transmissions)
+def test_order_invariance(txs):
+    assert DownlinkScheduler._count_overlaps(
+        txs
+    ) == DownlinkScheduler._count_overlaps(list(reversed(txs)))

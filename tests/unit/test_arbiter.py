@@ -1,0 +1,152 @@
+"""Unit tests for the shared capacity ledgers and the cell arbiter."""
+
+import pytest
+
+from repro.enb import (
+    Admission,
+    CapacityArbiter,
+    CarrierOccupancy,
+    CellConfig,
+    PagingOccupancy,
+)
+from repro.errors import CapacityError, ConfigurationError
+
+
+class TestPagingOccupancy:
+    def test_reserve_and_query(self):
+        ledger = PagingOccupancy(max_records=2)
+        assert ledger.reserve([(100, 0), (100, 0), (200, 5)])
+        assert ledger.records_at(100, 0) == 2
+        assert ledger.records_at(200, 5) == 1
+        assert ledger.records_at(300, 0) == 0
+
+    def test_all_or_nothing(self):
+        ledger = PagingOccupancy(max_records=2)
+        assert ledger.reserve([(100, 0), (100, 0)])
+        # Third record at (100, 0) overflows: the whole batch must fail
+        # and the feasible part must NOT be taken.
+        assert not ledger.reserve([(100, 0), (999, 9)])
+        assert ledger.records_at(999, 9) == 0
+        assert ledger.records_at(100, 0) == 2
+
+    def test_multiplicity_within_one_batch(self):
+        ledger = PagingOccupancy(max_records=2)
+        assert not ledger.reserve([(7, 3)] * 3)
+        assert ledger.records_at(7, 3) == 0
+
+    def test_release_returns_capacity(self):
+        ledger = PagingOccupancy(max_records=1)
+        assert ledger.reserve([(10, 0)])
+        assert not ledger.reserve([(10, 0)])
+        ledger.release([(10, 0)])
+        assert ledger.reserve([(10, 0)])
+
+    def test_release_without_reservation_raises(self):
+        ledger = PagingOccupancy()
+        with pytest.raises(CapacityError):
+            ledger.release([(10, 0)])
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(CapacityError):
+            PagingOccupancy(max_records=0)
+
+
+class TestCarrierOccupancy:
+    def test_foreign_overlap_detected(self):
+        ledger = CarrierOccupancy()
+        ledger.add("a", 100, 50)
+        assert ledger.conflicts(120, 10, owner="b") == [(100, 150)]
+        assert ledger.conflicts(150, 10, owner="b") == []  # half-open
+        assert ledger.conflicts(90, 10, owner="b") == []
+
+    def test_same_owner_never_conflicts(self):
+        ledger = CarrierOccupancy()
+        ledger.add("a", 100, 50)
+        assert ledger.conflicts(100, 50, owner="a") == []
+
+    def test_remove_releases_interval(self):
+        ledger = CarrierOccupancy()
+        token = ledger.add("a", 100, 50)
+        ledger.remove(token)
+        assert ledger.conflicts(100, 50, owner="b") == []
+        assert len(ledger) == 0
+        with pytest.raises(ConfigurationError):
+            ledger.remove(token)
+
+    def test_conflicts_sorted(self):
+        ledger = CarrierOccupancy()
+        ledger.add("a", 300, 10)
+        ledger.add("b", 100, 10)
+        assert ledger.conflicts(0, 1000, owner="c") == [(100, 110), (300, 310)]
+
+
+class TestCapacityArbiter:
+    def test_admits_unopposed_window_unshifted(self):
+        arbiter = CapacityArbiter()
+        decision = arbiter.admit("a", 100, 50, pages=[(90, 0)])
+        assert decision.admitted and decision.shift_frames == 0
+        assert decision.start_frame == 100
+        assert not decision.deferred
+        assert arbiter.paging.records_at(90, 0) == 1
+
+    def test_defers_past_foreign_window(self):
+        arbiter = CapacityArbiter(max_defer_frames=1000)
+        first = arbiter.admit("a", 100, 50)
+        assert first.admitted
+        second = arbiter.admit("b", 120, 30)
+        assert second.admitted and second.deferred
+        assert second.start_frame == 150  # first-fit: end of the blocker
+        assert second.shift_frames == 30
+
+    def test_chained_deferral(self):
+        arbiter = CapacityArbiter(max_defer_frames=1000)
+        arbiter.admit("a", 100, 50)
+        arbiter.admit("b", 150, 50)  # admitted as asked (no overlap)
+        third = arbiter.admit("c", 120, 10)
+        assert third.admitted
+        assert third.start_frame == 200  # pushed past both
+
+    def test_same_campaign_overlap_admitted(self):
+        arbiter = CapacityArbiter()
+        arbiter.admit("a", 100, 50)
+        again = arbiter.admit("a", 100, 50)
+        assert again.admitted and again.shift_frames == 0
+
+    def test_rejects_beyond_defer_cap(self):
+        arbiter = CapacityArbiter(max_defer_frames=10)
+        arbiter.admit("a", 100, 50)
+        decision = arbiter.admit("b", 100, 50, pages=[(90, 0)])
+        assert not decision.admitted
+        assert decision.reason == "airtime"
+        # A rejection commits nothing, including the paging records.
+        assert arbiter.paging.records_at(90, 0) == 0
+
+    def test_window_specific_shift_cap(self):
+        arbiter = CapacityArbiter(max_defer_frames=1000)
+        arbiter.admit("a", 100, 50)
+        decision = arbiter.admit("b", 120, 10, max_shift_frames=5)
+        assert not decision.admitted and decision.reason == "airtime"
+
+    def test_rejects_paging_overflow(self):
+        cell = CellConfig(max_paging_records=1)
+        arbiter = CapacityArbiter(cell)
+        first = arbiter.admit("a", 100, 10, pages=[(90, 0)])
+        assert first.admitted
+        decision = arbiter.admit("b", 500, 10, pages=[(90, 0)])
+        assert not decision.admitted and decision.reason == "paging"
+        # The airtime ledger must not have been touched either.
+        assert arbiter.carrier.conflicts(500, 10, owner="x") == []
+
+    def test_release_frees_airtime_and_pages(self):
+        cell = CellConfig(max_paging_records=1)
+        arbiter = CapacityArbiter(cell, max_defer_frames=0)
+        decision = arbiter.admit("a", 100, 50, pages=[(90, 0)])
+        blocked = arbiter.admit("b", 100, 50, pages=[(90, 0)])
+        assert not blocked.admitted
+        arbiter.release(decision.token)
+        retry = arbiter.admit("b", 100, 50, pages=[(90, 0)])
+        assert retry.admitted and retry.shift_frames == 0
+
+    def test_rejects_negative_cap(self):
+        with pytest.raises(ConfigurationError):
+            CapacityArbiter(max_defer_frames=-1)

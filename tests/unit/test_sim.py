@@ -164,6 +164,84 @@ class TestEngine:
         assert sim.trace[0].device_index == 3
 
 
+class TestEngineCancel:
+    def test_cancelled_event_never_fires(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(
+            Event(1.0, EventKind.PO_MONITOR), lambda e: seen.append(1)
+        )
+        sim.schedule(Event(2.0, EventKind.PO_MONITOR), lambda e: seen.append(2))
+        assert sim.cancel(handle) is True
+        assert sim.pending == 1
+        sim.run()
+        assert seen == [2]
+
+    def test_cancelled_event_does_not_advance_clock(self):
+        sim = Simulator()
+        handle = sim.schedule(Event(5.0, EventKind.PO_MONITOR), lambda e: None)
+        sim.schedule(Event(1.0, EventKind.PO_MONITOR), lambda e: None)
+        sim.cancel(handle)
+        sim.run()
+        assert sim.now == 1.0
+
+    def test_cancel_already_fired_event_returns_false(self):
+        sim = Simulator()
+        handle = sim.schedule(Event(1.0, EventKind.PO_MONITOR), lambda e: None)
+        sim.run()
+        assert sim.cancel(handle) is False
+
+    def test_cancel_twice_returns_false(self):
+        sim = Simulator()
+        handle = sim.schedule(Event(1.0, EventKind.PO_MONITOR), lambda e: None)
+        assert sim.cancel(handle) is True
+        assert sim.cancel(handle) is False
+        assert sim.pending == 0
+        assert sim.run() == 0
+
+    def test_cancel_unknown_handle_returns_false(self):
+        sim = Simulator()
+        assert sim.cancel(12345) is False
+
+    def test_reschedule_after_cancel(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(
+            Event(1.0, EventKind.TX_START), lambda e: seen.append("old")
+        )
+        sim.cancel(handle)
+        sim.schedule(Event(3.0, EventKind.TX_START), lambda e: seen.append("new"))
+        sim.run()
+        assert seen == ["new"]
+        assert sim.now == 3.0
+
+    def test_run_until_keeps_cancelled_tombstones_harmless(self):
+        sim = Simulator()
+        seen = []
+        handle = sim.schedule(
+            Event(5.0, EventKind.PO_MONITOR), lambda e: seen.append("x")
+        )
+        sim.schedule(Event(6.0, EventKind.PO_MONITOR), lambda e: seen.append("y"))
+        sim.cancel(handle)
+        assert sim.run(until_s=5.5) == 0
+        assert sim.pending == 1
+        sim.run()
+        assert seen == ["y"]
+
+    def test_step_executes_one_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(Event(1.0, EventKind.PO_MONITOR), lambda e: seen.append(1))
+        handle = sim.schedule(
+            Event(2.0, EventKind.PO_MONITOR), lambda e: seen.append(2)
+        )
+        sim.schedule(Event(3.0, EventKind.PO_MONITOR), lambda e: seen.append(3))
+        sim.cancel(handle)
+        assert sim.step() == 1 and seen == [1]
+        assert sim.step() == 1 and seen == [1, 3]
+        assert sim.step() == 0
+
+
 class TestMonteCarlo:
     def test_aggregates_metrics(self):
         harness = MonteCarlo(n_runs=10, seed=1)
