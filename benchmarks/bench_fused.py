@@ -1,0 +1,267 @@
+"""A10 benchmark: fused (run x cell) work queue vs the siloed paths.
+
+Times one multi-cell scenario campaign (default: 10 runs x 8 cells)
+through three execution structures:
+
+* **serial** — the oracle: one process, runs and cells in order;
+* **siloed run-then-cell** — the pre-fused composition: a serial loop
+  over Monte-Carlo runs where each run shards its cells across a
+  process pool (``rollout(backend="process")``). Every run pays a pool
+  spin-up and a full barrier before the next run starts;
+* **fused** — ``run_scenario(backend="fused")``: every (run, cell)
+  task drains through one work queue with no inter-run barrier.
+
+Equivalence gates the timing: the fused metric arrays must be
+bit-identical to serial, and the siloed mirror's per-run metrics must
+match both. The >=2x fused-over-siloed assertion only applies at
+10^5-device scale on a machine with >= 2 cores free for >= 2 workers —
+a 1-core container cannot parallelise CPU-bound work, and at toy sizes
+the measurement is pool-startup noise. Scaled-down runs still record
+the measurements to ``BENCH_fused.json``.
+
+Tune with ``REPRO_BENCH_FUSED_DEVICES`` / ``REPRO_BENCH_FUSED_RUNS`` /
+``REPRO_BENCH_FUSED_CELLS`` / ``REPRO_BENCH_FUSED_WORKERS``; set
+``REPRO_BENCH_FUSED_FULL=1`` to also run the 10^6-device single-config
+regime (one fused run, asserted to complete with sane deliveries).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import _env_int, emit, write_bench_artifact
+
+from repro.experiments.reporting import Table, render_table
+from repro.multicast.coordination import (
+    CoordinationEntity,
+    MultiCellSpec,
+    partition_fleet,
+)
+from repro.multicast.reliability import simulate_repair_rounds
+from repro.scenarios import run_scenario, scenario
+from repro.sim.executor import CampaignExecutor
+from repro.sim.rng import spawn_generators
+from repro.traffic.generator import generate_fleet
+
+#: The paper-scale acceptance shape: fused must be >=2x the siloed
+#: run-then-cell path at this fleet size (and above) when the machine
+#: can actually parallelise.
+ASSERT_SPEEDUP_FROM = 100_000
+MIN_SPEEDUP = 2.0
+
+#: Serial wall-clock below which ratios are recorded but not asserted.
+MIN_ASSERTED_SERIAL_S = 1.0
+
+#: Metrics the siloed mirror recomputes (a faithful subset of the
+#: scenario runner's per-run dict — enough to pin equivalence).
+MIRROR_METRICS = (
+    "transmissions",
+    "mean_wait_s",
+    "energy_mj",
+    "segments_sent",
+    "delivered_fraction",
+)
+
+
+def _bench_spec():
+    return scenario("city-rollout").with_overrides(
+        n_devices=_env_int("REPRO_BENCH_FUSED_DEVICES", 400),
+        n_runs=_env_int("REPRO_BENCH_FUSED_RUNS", 10),
+        cells=MultiCellSpec(
+            n_cells=_env_int("REPRO_BENCH_FUSED_CELLS", 8)
+        ),
+    )
+
+
+def _workers() -> int:
+    return _env_int(
+        "REPRO_BENCH_FUSED_WORKERS", min(4, os.cpu_count() or 1)
+    )
+
+
+def _siloed_run(rng, spec, workers):
+    """One run of the pre-fused composition: cells sharded per run.
+
+    Mirrors the scenario runner's multi-cell run (same fleet draw, same
+    rollout seed, same repair stream) but drives
+    ``rollout(backend="process")`` — the old cell-silo. The caller
+    asserts its metrics against ``run_scenario`` output, so any drift
+    between mirror and runner fails the bench before timing.
+    """
+    fleet = generate_fleet(
+        spec.n_devices,
+        spec.mixture_obj(),
+        rng,
+        coverage_mix=spec.coverage,
+        battery=spec.battery(),
+    )
+    cells = partition_fleet(
+        fleet, spec.cells.n_cells, rng, weights=spec.cells.weights
+    )
+    executor = CampaignExecutor(timings=spec.timings(), columnar=True)
+    entity = CoordinationEntity(spec.mechanism_obj(), executor=executor)
+    rollout_seed = int(rng.integers(0, 2**32))
+    report = entity.rollout(
+        cells,
+        spec.image(),
+        spec.planning_context(),
+        seed=rollout_seed,
+        backend="process",
+        workers=workers,
+    )
+    repairs = [
+        simulate_repair_rounds(
+            spec.image(), campaign.fleet_size, spec.reliability(), rng
+        )
+        for campaign in report.campaigns
+    ]
+    return {
+        "transmissions": float(report.total_transmissions),
+        "mean_wait_s": report.mean_wait_s,
+        "energy_mj": report.total_energy_mj,
+        "segments_sent": float(sum(r.segments_sent for r in repairs)),
+        "delivered_fraction": (
+            sum(r.devices_complete for r in repairs) / spec.n_devices
+        ),
+    }
+
+
+def test_a10_fused_vs_siloed(capsys):
+    spec = _bench_spec()
+    workers = _workers()
+
+    t0 = time.perf_counter()
+    serial = run_scenario(spec)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    siloed_runs = [
+        _siloed_run(rng, spec, workers)
+        for rng in spawn_generators(spec.seed, spec.n_runs)
+    ]
+    siloed_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    fused = run_scenario(spec, backend="fused", workers=workers)
+    fused_s = time.perf_counter() - t0
+
+    # Equivalence gates the timing: fused == serial bit for bit...
+    assert set(fused) == set(serial)
+    for metric in serial:
+        np.testing.assert_array_equal(
+            serial[metric].values, fused[metric].values, err_msg=metric
+        )
+    # ...and the siloed mirror reproduces the runner's numbers exactly.
+    for metric in MIRROR_METRICS:
+        np.testing.assert_array_equal(
+            np.array([run[metric] for run in siloed_runs]),
+            serial[metric].values,
+            err_msg=f"siloed mirror drifted on {metric}",
+        )
+
+    cores = os.cpu_count() or 1
+    over_siloed = siloed_s / fused_s if fused_s > 0 else float("inf")
+    over_serial = serial_s / fused_s if fused_s > 0 else float("inf")
+    asserted = (
+        spec.n_devices >= ASSERT_SPEEDUP_FROM
+        and cores >= 2
+        and workers >= 2
+        and serial_s >= MIN_ASSERTED_SERIAL_S
+    )
+    if asserted:
+        assert over_siloed >= MIN_SPEEDUP, (
+            f"fused only {over_siloed:.2f}x over the siloed path at "
+            f"{spec.n_devices} devices (siloed {siloed_s:.2f}s, fused "
+            f"{fused_s:.2f}s, {workers} workers)"
+        )
+
+    path = write_bench_artifact(
+        "fused",
+        {
+            "benchmark": "a10_fused_vs_siloed",
+            "scenario": spec.name,
+            "n_devices": spec.n_devices,
+            "n_runs": spec.n_runs,
+            "n_cells": spec.cells.n_cells,
+            "workers": workers,
+            "cpu_count": cores,
+            "serial_s": serial_s,
+            "siloed_run_then_cell_s": siloed_s,
+            "fused_s": fused_s,
+            "fused_over_siloed": over_siloed,
+            "fused_over_serial": over_serial,
+            "speedup_asserted": asserted,
+            "assert_speedup_from_devices": ASSERT_SPEEDUP_FROM,
+            "min_speedup": MIN_SPEEDUP,
+        },
+    )
+    emit(
+        capsys,
+        render_table(
+            Table(
+                title=(
+                    "A10 — one multi-cell campaign: serial vs siloed "
+                    "run-then-cell vs fused work queue"
+                ),
+                headers=("path", "wall-clock", "vs fused"),
+                rows=(
+                    ("serial", f"{serial_s:.2f}s", f"{over_serial:.2f}x"),
+                    (
+                        "siloed run-then-cell",
+                        f"{siloed_s:.2f}s",
+                        f"{over_siloed:.2f}x",
+                    ),
+                    ("fused", f"{fused_s:.2f}s", "1.00x"),
+                ),
+                notes=(
+                    f"{spec.n_runs} runs x {spec.cells.n_cells} cells x "
+                    f"{spec.n_devices} devices, {workers} workers on "
+                    f"{cores} cores; metric arrays asserted bit-identical "
+                    f"before timing; artifact written to {path}. The "
+                    f">= {MIN_SPEEDUP:.0f}x bar applies from "
+                    f"{ASSERT_SPEEDUP_FROM} devices with >= 2 cores"
+                    + ("" if asserted else " (not asserted at this size)")
+                    + ".",
+                ),
+            )
+        ),
+    )
+
+
+@pytest.mark.skipif(
+    not os.environ.get("REPRO_BENCH_FUSED_FULL"),
+    reason="10^6-device regime: set REPRO_BENCH_FUSED_FULL=1",
+)
+def test_a10_megafleet_regime_completes(capsys):
+    """The 10^6 single-config regime: one fused run must complete.
+
+    Not a speedup measurement — an existence proof that the fused queue
+    (fan-out, reduction, seed derivation) holds together at the
+    paper-extrapolated fleet scale, with deliveries intact.
+    """
+    spec = scenario("city-rollout").with_overrides(
+        n_devices=1_000_000,
+        n_runs=1,
+        cells=MultiCellSpec(n_cells=8),
+    )
+    t0 = time.perf_counter()
+    stats = run_scenario(spec, backend="fused", workers=_workers())
+    elapsed = time.perf_counter() - t0
+    assert stats["delivered_fraction"].min > 0.0
+    assert stats["n_cells"].max <= 8
+    path = write_bench_artifact(
+        "fused_megafleet",
+        {
+            "benchmark": "a10_megafleet",
+            "n_devices": spec.n_devices,
+            "n_cells": spec.cells.n_cells,
+            "wall_clock_s": elapsed,
+            "delivered_fraction_min": float(
+                stats["delivered_fraction"].min
+            ),
+        },
+    )
+    emit(capsys, f"10^6-device fused run: {elapsed:.1f}s; artifact {path}")

@@ -288,7 +288,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     multicell.add_argument(
         "--backend",
-        choices=["serial", "process"],
+        choices=["serial", "process", "fused"],
         default="serial",
         help="per-cell campaign execution backend (bit-identical results)",
     )
@@ -467,11 +467,14 @@ def _scenarios_run(args) -> int:
         GOLDEN_PATH,
         compute_golden_metrics,
         diff_golden,
+        drifted_scenarios,
+        golden_event_diff,
         headline_means,
         load_golden,
         run_scenario,
         scenario_table,
         write_golden,
+        write_golden_runlogs,
     )
 
     specs = _selected_scenarios(args)
@@ -496,6 +499,8 @@ def _scenarios_run(args) -> int:
         print(
             f"re-pinned golden metrics for {len(metrics)} scenarios -> {pinned}"
         )
+        runlogs = write_golden_runlogs(names)
+        print(f"re-pinned {len(runlogs)} golden event logs")
         return 0
 
     results = {
@@ -530,13 +535,37 @@ def _scenarios_run(args) -> int:
                 if name in set(names)
             }
         problems = diff_golden(current, pinned_metrics)
+        # A drifted metric says *that* the simulation moved; the event
+        # diff against the pinned runlog says *where*. Attach it to the
+        # failure path so CI reports carry the structural story.
+        event_diffs = {}
+        if problems:
+            for name in drifted_scenarios(problems):
+                try:
+                    diff = golden_event_diff(name)
+                except Exception as exc:  # unknown/unloadable scenario
+                    diff = f"event diff unavailable: {exc}"
+                if diff is not None:
+                    event_diffs[name] = diff
         if args.golden_diff:
             with open(args.golden_diff, "w", encoding="utf-8") as fh:
-                json.dump({"problems": problems, "current": current}, fh, indent=2)
+                json.dump(
+                    {
+                        "problems": problems,
+                        "current": current,
+                        "event_diffs": event_diffs,
+                    },
+                    fh,
+                    indent=2,
+                )
             print(f"wrote golden diff -> {args.golden_diff}")
         if problems:
             for problem in problems:
                 print(f"GOLDEN DRIFT: {problem}")
+            for name, diff in event_diffs.items():
+                print(f"EVENT DIFF [{name}]:")
+                for line in diff.splitlines():
+                    print(f"  {line}")
             if args.check_golden:
                 return 1
         else:

@@ -48,7 +48,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.eventlog import EventLog
 
 #: Execution backends accepted by :meth:`CoordinationEntity.rollout`.
-ROLLOUT_BACKENDS = ("serial", "process")
+ROLLOUT_BACKENDS = ("serial", "process", "fused")
 
 
 @dataclass(frozen=True)
@@ -375,11 +375,16 @@ class CoordinationEntity:
         * ``seed=`` derives one independent child generator per cell
           (``SeedSequence(seed).spawn(n)`` in ascending cell-id order),
           which makes the per-cell campaigns order-independent and
-          therefore executable on the ``process`` backend — per-cell
-          results are bit-identical to ``serial`` for any ``workers``.
+          therefore executable on the ``process`` and ``fused``
+          backends — per-cell results are bit-identical to ``serial``
+          for any ``workers``.
 
-        ``backend="process"`` requires ``seed=`` (a shared generator
-        cannot cross a process pool without changing the draws).
+        ``backend="process"`` / ``backend="fused"`` require ``seed=``
+        (a shared generator cannot cross a process pool without
+        changing the draws). ``fused`` routes the cells through the
+        fused work-queue scheduler (:mod:`repro.sim.dispatch`) — the
+        same pool that scenario campaigns flatten (run x cell) tasks
+        into.
         """
         if not cells:
             raise ConfigurationError("no cells to roll out to")
@@ -399,9 +404,9 @@ class CoordinationEntity:
                 "(per-cell child generators), not both"
             )
         if seed is None:
-            if backend == "process":
+            if backend != "serial":
                 raise ConfigurationError(
-                    "backend='process' requires seed= so every cell "
+                    f"backend={backend!r} requires seed= so every cell "
                     "gets its own child generator"
                 )
             campaigns: List[CellCampaign] = []
@@ -429,6 +434,17 @@ class CoordinationEntity:
         )
         if backend == "process":
             campaigns = map_in_processes(fn, seed, items, workers=workers)
+        elif backend == "fused":
+            from repro.sim.dispatch import map_fused
+
+            campaigns = map_fused(
+                fn,
+                seed,
+                items,
+                workers=workers,
+                campaign="rollout",
+                cell_ids=[cell_id for cell_id, _ in items],
+            )
         else:
             campaigns = map_serial(fn, seed, items)
         return MultiCellReport(campaigns=tuple(campaigns))

@@ -74,6 +74,11 @@ class RepairOutcome:
         segments_per_round: segments transmitted in each round, in
             order (sums to ``segments_sent``; recorded into event logs
             as REPAIR_ROUND rows).
+        missing_per_round: (device, segment) pairs still missing
+            *after* each round, in order — the per-segment losses that
+            drive the next round (recorded into event logs as
+            SEGMENT_LOSS rows; the last entry equals
+            ``residual_missing``).
     """
 
     rounds: int
@@ -82,6 +87,7 @@ class RepairOutcome:
     residual_missing: int
     base_segments: int = 1
     segments_per_round: Tuple[int, ...] = ()
+    missing_per_round: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.base_segments < 1:
@@ -111,6 +117,7 @@ def simulate_repair_rounds(
     to_send = np.ones(n_segments, dtype=bool)
     segments_sent = 0
     per_round: List[int] = []
+    missing_per_round: List[int] = []
     rounds = 0
     while to_send.any() and rounds < config.max_rounds:
         rounds += 1
@@ -122,6 +129,7 @@ def simulate_repair_rounds(
         )
         delivered = to_send[None, :] & receive
         missing &= ~delivered
+        missing_per_round.append(int(missing.sum()))
         # Union of NACKs drives the next round.
         to_send = missing.any(axis=0)
 
@@ -132,6 +140,7 @@ def simulate_repair_rounds(
         residual_missing=int(missing.sum()),
         base_segments=n_segments,
         segments_per_round=tuple(per_round),
+        missing_per_round=tuple(missing_per_round),
     )
 
 

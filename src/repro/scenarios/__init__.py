@@ -20,11 +20,17 @@ CLI: ``python -m repro scenarios list|run|sweep``.
 
 from repro.scenarios.golden import (
     GOLDEN_PATH,
+    GOLDEN_RUNLOG_DIR,
     compute_golden_metrics,
     diff_golden,
+    drifted_scenarios,
+    golden_event_diff,
+    golden_runlog_path,
     golden_spec,
     load_golden,
+    record_golden_runlog,
     write_golden,
+    write_golden_runlogs,
 )
 from repro.scenarios.record import (
     RecordedRun,
@@ -89,5 +95,11 @@ __all__ = [
     "load_golden",
     "write_golden",
     "diff_golden",
+    "drifted_scenarios",
+    "golden_event_diff",
+    "golden_runlog_path",
+    "record_golden_runlog",
+    "write_golden_runlogs",
     "GOLDEN_PATH",
+    "GOLDEN_RUNLOG_DIR",
 ]

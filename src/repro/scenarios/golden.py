@@ -7,6 +7,15 @@ fleet). The integration suite recomputes them and fails if any metric
 moves beyond tolerance, so a future PR cannot silently shift simulation
 results; an intentional change re-pins with ``python -m repro scenarios
 run --all --update-golden``.
+
+Next to the metric pins live *event-log pins*: run 0 of each golden
+configuration, recorded as a ``.npz``
+(:class:`~repro.sim.eventlog.RunLog`) under ``golden_runlogs/``. When
+a metric drifts, the number alone says nothing about *where* the
+simulation diverged — so the failure path re-records the drifted run
+and attaches the structural event diff (first diverging event,
+per-kind and per-device deltas, the ``runs diff`` machinery) to the
+report. ``--update-golden`` refreshes both pin sets together.
 """
 
 from __future__ import annotations
@@ -20,6 +29,7 @@ from repro.errors import ConfigurationError
 from repro.scenarios.registry import all_scenarios, scenario
 from repro.scenarios.runner import headline_means, run_scenario
 from repro.scenarios.spec import ScenarioSpec
+from repro.sim.eventlog import RunLog, diff_runlogs, format_runlog_diff
 
 #: Monte-Carlo runs per scenario when computing golden metrics. Two is
 #: enough to exercise the aggregation while keeping the whole registry
@@ -37,6 +47,9 @@ GOLDEN_REL_TOL = 1e-9
 
 #: The committed pin file.
 GOLDEN_PATH = Path(__file__).with_name("golden_metrics.json")
+
+#: Committed event-log pins: run 0 of each golden configuration.
+GOLDEN_RUNLOG_DIR = Path(__file__).with_name("golden_runlogs")
 
 
 def golden_spec(spec: ScenarioSpec) -> ScenarioSpec:
@@ -108,6 +121,75 @@ def write_golden(
     }
     path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     return path
+
+
+def golden_runlog_path(
+    name: str, directory: Optional[Path] = None
+) -> Path:
+    """Where scenario ``name``'s event-log pin lives."""
+    directory = GOLDEN_RUNLOG_DIR if directory is None else Path(directory)
+    return directory / f"{name}.npz"
+
+
+def record_golden_runlog(spec: ScenarioSpec) -> RunLog:
+    """Record run 0 of ``spec``'s golden configuration."""
+    from repro.scenarios.record import record_run
+
+    return record_run(golden_spec(spec), run_index=0).runlog
+
+
+def write_golden_runlogs(
+    names: Optional[Sequence[str]] = None,
+    directory: Optional[Path] = None,
+) -> Dict[str, Path]:
+    """Re-pin the event logs for ``names`` (default: every scenario)."""
+    directory = GOLDEN_RUNLOG_DIR if directory is None else Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    specs = (
+        all_scenarios()
+        if names is None
+        else [scenario(name) for name in names]
+    )
+    out: Dict[str, Path] = {}
+    for spec in specs:
+        runlog = record_golden_runlog(spec)
+        out[spec.name] = runlog.save(golden_runlog_path(spec.name, directory))
+    return out
+
+
+def golden_event_diff(
+    name: str, directory: Optional[Path] = None
+) -> Optional[str]:
+    """The structural event diff of scenario ``name`` against its pin.
+
+    Re-records run 0 of the golden configuration and diffs it against
+    the committed ``.npz`` with the ``runs diff`` machinery. Returns
+    ``None`` when the logs are event-identical, a rendered diff when
+    they diverge, and a pointer to re-pin when no pin exists — so a
+    metric-drift report always carries the event-level story.
+    """
+    path = golden_runlog_path(name, directory)
+    if not path.exists():
+        return (
+            f"no event-log pin at {path}; re-pin with "
+            "`python -m repro scenarios run --all --update-golden`"
+        )
+    pinned = RunLog.load(path)
+    fresh = record_golden_runlog(scenario(name))
+    diff = diff_runlogs(pinned, fresh)
+    if diff.is_empty and not diff.meta_notes:
+        return None
+    return format_runlog_diff(diff)
+
+
+def drifted_scenarios(problems: Sequence[str]) -> List[str]:
+    """The scenario names a :func:`diff_golden` report implicates."""
+    names = []
+    for problem in problems:
+        name = problem.split(":", 1)[0].split(".", 1)[0]
+        if name and name not in names:
+            names.append(name)
+    return names
 
 
 def diff_golden(

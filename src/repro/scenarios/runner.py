@@ -6,31 +6,58 @@ executes the plan (columnar fast path by default; the per-device row
 path is kept selectable as the equivalence oracle), and simulates the
 segment-loss/repair rounds for the delivered image. The run function is
 a module-level picklable callable, so every scenario fans out through
-either Monte-Carlo backend (``serial`` or ``process``) unchanged, and
-both backends produce bit-identical metric arrays.
+any Monte-Carlo backend (``serial``, ``process`` or ``fused``)
+unchanged, and all backends produce bit-identical metric arrays.
+
+The ``fused`` backend decomposes each multi-cell run into work-queue
+tasks (:mod:`repro.sim.dispatch`): a *prologue* task generates the
+fleet, partitions it and draws the rollout seed — exactly the draws the
+serial run makes, in the same order — then fans out one task per cell
+(addressed ``(fingerprint, run, cell)``, seeded by the rollout seed's
+child for that cell) and a *reduction* that replays the run generator's
+post-prologue state through the repair rounds and folds the per-cell
+summaries into the run's metric dict. Cell tasks re-materialise the
+run's fleet from the task address through a small per-worker cache, so
+large fleets are built once per worker instead of being pickled per
+task.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.devices.fleet import Fleet
 from repro.errors import ConfigurationError
 from repro.experiments.reporting import Table
 from repro.multicast.coordination import CoordinationEntity, partition_fleet
 from repro.multicast.reliability import simulate_repair_rounds
 from repro.phy.coverage import CoverageClass
 from repro.scenarios.spec import ScenarioSpec
+from repro.sim.dispatch import (
+    FanOut,
+    TaskAddress,
+    WorkItem,
+    derive_task_rng,
+    execute_items,
+)
 from repro.sim.eventlog import (
     EventLogRecorder,
     RunLog,
     repair_round_rows,
+    segment_loss_rows,
 )
 from repro.sim.executor import CampaignExecutor
-from repro.sim.montecarlo import MonteCarlo, RunStatistics
+from repro.sim.montecarlo import (
+    MonteCarlo,
+    RunStatistics,
+    collect_metric_columns,
+)
 from repro.sim.parallel import ResultCache
 from repro.timebase import format_bytes
 from repro.traffic.generator import generate_fleet
@@ -96,10 +123,12 @@ def _multi_cell_run(
     if recording is not None:
         cell_logs = {}
         for campaign, repair in zip(report.campaigns, repairs):
+            horizon = campaign.result.horizon_frames
             log = campaign.event_log.with_appended(
-                repair_round_rows(
-                    repair.segments_per_round, campaign.result.horizon_frames
-                )
+                np.concatenate([
+                    repair_round_rows(repair.segments_per_round, horizon),
+                    segment_loss_rows(repair.missing_per_round, horizon),
+                ])
             )
             cell_logs[campaign.cell_id] = log
         recording.append(
@@ -168,7 +197,14 @@ def scenario_run(
     )
     if recorder is not None:
         log = recorder.finalize(cell=0).with_appended(
-            repair_round_rows(repair.segments_per_round, result.horizon_frames)
+            np.concatenate([
+                repair_round_rows(
+                    repair.segments_per_round, result.horizon_frames
+                ),
+                segment_loss_rows(
+                    repair.missing_per_round, result.horizon_frames
+                ),
+            ])
         )
         recording.append(
             RunLog(meta=_run_meta(spec, _run_index), cells={0: log})
@@ -198,6 +234,335 @@ def scenario_run(
     }
 
 
+# ----------------------------------------------------------------------
+# Fused (run x cell) decomposition
+# ----------------------------------------------------------------------
+@dataclass
+class _RunMaterial:
+    """Everything a run's prologue derives from its child generator.
+
+    ``rng_state`` is the run generator's bit-generator state *after*
+    the prologue draws (fleet sampling, cell attachment, rollout seed)
+    — the reduction restores it so the repair rounds consume the exact
+    draws the serial run would.
+    """
+
+    fleet: Fleet
+    cells: Dict[int, Fleet]
+    rollout_seed: int
+    rng_state: Dict[str, Any]
+    histogram: Dict[CoverageClass, int]
+
+
+#: Per-worker memo of run materials keyed by (fingerprint, seed, run).
+#: A worker executing several cells of the same run materialises the
+#: fleet once and slices it per cell, instead of the fleet being
+#: pickled into every cell task. Small and LRU-bounded: a worker only
+#: ever needs the few runs whose cells it is currently draining.
+_MATERIAL_CACHE: "OrderedDict[Tuple[str, int, int], _RunMaterial]" = (
+    OrderedDict()
+)
+_MATERIAL_CACHE_MAX = 4
+
+
+def _run_material(
+    spec: ScenarioSpec, fingerprint: str, root_seed: int, run_index: int
+) -> _RunMaterial:
+    """Materialise (or fetch) one run's fleet, cells and rollout seed.
+
+    Pure function of the task address ``(fingerprint, run_index)`` plus
+    the campaign's root seed: the run generator is re-derived as the
+    standard ``SeedSequence`` child and consumed exactly as the serial
+    run consumes it, so every worker that needs this run's material
+    reconstructs bit-identical fleets and draws.
+    """
+    key = (fingerprint, int(root_seed), int(run_index))
+    material = _MATERIAL_CACHE.get(key)
+    if material is not None:
+        _MATERIAL_CACHE.move_to_end(key)
+        return material
+    rng = derive_task_rng(root_seed, run_index)
+    fleet = generate_fleet(
+        spec.n_devices,
+        spec.mixture_obj(),
+        rng,
+        coverage_mix=spec.coverage,
+        battery=spec.battery(),
+    )
+    cells = partition_fleet(
+        fleet, spec.cells.n_cells, rng, weights=spec.cells.weights
+    )
+    rollout_seed = int(rng.integers(0, 2**32))
+    material = _RunMaterial(
+        fleet=fleet,
+        cells=cells,
+        rollout_seed=rollout_seed,
+        rng_state=rng.bit_generator.state,
+        histogram=fleet.coverage_histogram(),
+    )
+    _MATERIAL_CACHE[key] = material
+    while len(_MATERIAL_CACHE) > _MATERIAL_CACHE_MAX:
+        _MATERIAL_CACHE.popitem(last=False)
+    return material
+
+
+@dataclass(frozen=True)
+class _FusedRunPayload:
+    """What a fused run-level task needs besides its generator."""
+
+    spec: ScenarioSpec
+    root_seed: int
+    columnar: bool
+
+
+@dataclass(frozen=True)
+class _FusedCellPayload:
+    """What a fused cell task needs to re-materialise its sub-fleet."""
+
+    spec: ScenarioSpec
+    root_seed: int
+    run_index: int
+    columnar: bool
+    cell_id: int
+
+
+@dataclass(frozen=True)
+class _FusedReduceState:
+    """Prologue state carried into a fused run's reduction."""
+
+    spec: ScenarioSpec
+    rng_state: Dict[str, Any]
+    histogram: Dict[CoverageClass, int]
+
+
+@dataclass(frozen=True)
+class _CellSummary:
+    """The scalars a cell contributes to its run's metrics.
+
+    Every field is computed in the cell worker from the full per-cell
+    campaign — shipping these instead of the campaign itself keeps the
+    fused queue's IPC per task constant-size regardless of fleet size.
+    """
+
+    cell_id: int
+    fleet_size: int
+    n_transmissions: int
+    largest_group: int
+    mean_wait_s: float
+    light_sleep_s: float
+    connected_s: float
+    energy_mj: float
+
+
+def _fused_cell_task(
+    rng: np.random.Generator, address: TaskAddress, payload: _FusedCellPayload
+) -> _CellSummary:
+    """Plan and execute one cell of one run (fused worker entry).
+
+    ``rng`` is the dispatcher-derived child of the run's rollout seed
+    at this cell's position — the same generator
+    ``CoordinationEntity.rollout(seed=...)`` hands the cell.
+    """
+    material = _run_material(
+        payload.spec, address.campaign, payload.root_seed, payload.run_index
+    )
+    fleet = material.cells[payload.cell_id]
+    spec = payload.spec
+    mechanism = spec.mechanism_obj()
+    plan = mechanism.plan(fleet, spec.planning_context(), rng)
+    plan.validate(fleet)
+    executor = CampaignExecutor(
+        timings=spec.timings(), columnar=payload.columnar
+    )
+    result = executor.execute(fleet, plan, rng=rng)
+    return _CellSummary(
+        cell_id=payload.cell_id,
+        fleet_size=len(fleet),
+        n_transmissions=plan.n_transmissions,
+        largest_group=max(t.group_size for t in plan.transmissions),
+        mean_wait_s=result.mean_wait_s,
+        light_sleep_s=result.fleet.light_sleep_s,
+        connected_s=result.fleet.connected_s,
+        energy_mj=result.fleet.energy_mj,
+    )
+
+
+def _fused_run_reduce(
+    state: _FusedReduceState,
+    results: List[_CellSummary],
+    address: TaskAddress,
+) -> Dict[str, float]:
+    """Fold per-cell summaries into one run's metric dict.
+
+    Restores the run generator to its post-prologue state and draws the
+    repair rounds per cell in ascending cell order — the identical
+    stream position the serial :func:`_multi_cell_run` reaches after
+    its rollout, so every metric is bit-identical to the serial run.
+    """
+    spec = state.spec
+    rng = np.random.default_rng()
+    rng.bit_generator.state = state.rng_state
+    repairs = [
+        simulate_repair_rounds(
+            spec.image(), summary.fleet_size, spec.reliability(), rng
+        )
+        for summary in results
+    ]
+    total_devices = sum(s.fleet_size for s in results)
+    deep = (
+        state.histogram[CoverageClass.ROBUST]
+        + state.histogram[CoverageClass.EXTREME]
+    )
+    battery = spec.battery()
+    light_sleep_s = sum(s.light_sleep_s for s in results)
+    connected_s = sum(s.connected_s for s in results)
+    energy_mj = sum(s.energy_mj for s in results)
+    return {
+        "transmissions": float(sum(s.n_transmissions for s in results)),
+        "largest_group": float(max(s.largest_group for s in results)),
+        "mean_wait_s": sum(
+            s.mean_wait_s * s.fleet_size for s in results
+        ) / total_devices,
+        "light_sleep_s": light_sleep_s,
+        "connected_s": connected_s,
+        "uptime_s": light_sleep_s + connected_s,
+        "energy_mj": energy_mj,
+        "battery_drain_ppm": (
+            battery.fraction_consumed(energy_mj / spec.n_devices) * 1e6
+        ),
+        "segments_sent": float(sum(r.segments_sent for r in repairs)),
+        "repair_rounds": float(max(r.rounds for r in repairs)),
+        "delivered_fraction": (
+            sum(r.devices_complete for r in repairs) / spec.n_devices
+        ),
+        "deep_coverage_share": deep / spec.n_devices,
+        "n_cells": float(len(results)),
+    }
+
+
+def _fused_run_task(
+    rng: np.random.Generator, address: TaskAddress, payload: _FusedRunPayload
+) -> Any:
+    """One fused run-level task.
+
+    Single-cell scenarios execute the whole run in place (bit-identical
+    to the serial run by construction — same generator, same code).
+    Multi-cell scenarios run the prologue and fan out one task per
+    non-empty cell, each addressed ``(fingerprint, run, cell)`` and
+    seeded ``SeedSequence(rollout_seed).spawn(n)[position]`` — exactly
+    the rollout's per-cell child contract.
+    """
+    spec = payload.spec
+    if not spec.cells.is_multi_cell:
+        metrics = scenario_run(
+            rng, address.run_index, spec, columnar=payload.columnar
+        )
+        return {k: float(v) for k, v in metrics.items()}
+    material = _run_material(
+        spec, address.campaign, payload.root_seed, address.run_index
+    )
+    items = tuple(
+        WorkItem(
+            address=TaskAddress(
+                address.campaign, address.run_index, cell_id
+            ),
+            fn=_fused_cell_task,
+            payload=_FusedCellPayload(
+                spec=spec,
+                root_seed=payload.root_seed,
+                run_index=address.run_index,
+                columnar=payload.columnar,
+                cell_id=cell_id,
+            ),
+            seed=material.rollout_seed,
+            spawn_index=position,
+        )
+        for position, cell_id in enumerate(sorted(material.cells))
+    )
+    return FanOut(
+        items=items,
+        reduce_fn=_fused_run_reduce,
+        state=_FusedReduceState(
+            spec=spec,
+            rng_state=material.rng_state,
+            histogram=material.histogram,
+        ),
+    )
+
+
+def scenario_work_items(
+    spec: ScenarioSpec,
+    root_seed: int,
+    n_runs: int,
+    columnar: bool = True,
+) -> List[WorkItem]:
+    """The fused work items of one scenario campaign (one per run)."""
+    if n_runs < 1:
+        raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+    fingerprint = spec.fingerprint()
+    payload = _FusedRunPayload(
+        spec=spec, root_seed=int(root_seed), columnar=columnar
+    )
+    return [
+        WorkItem(
+            address=TaskAddress(fingerprint, run_index),
+            fn=_fused_run_task,
+            payload=payload,
+            seed=int(root_seed),
+            spawn_index=run_index,
+        )
+        for run_index in range(n_runs)
+    ]
+
+
+def _fused_scenario_stats(
+    spec: ScenarioSpec,
+    root_seed: int,
+    n_runs: int,
+    workers: Optional[int],
+    columnar: bool,
+    cache: Optional[ResultCache],
+) -> Dict[str, RunStatistics]:
+    """Run one scenario through the fused scheduler (cache-aware).
+
+    Mirrors :meth:`MonteCarlo.run`'s cache protocol exactly — same key,
+    same stored columns — so serial, process and fused executions of
+    the same campaign share cache entries interchangeably.
+    """
+    key = None
+    if cache is not None:
+        key = ResultCache.key(
+            f"scenario/{spec.name}", spec.fingerprint(), root_seed, n_runs
+        )
+        cached = cache.load(key)
+        if cached is not None:
+            return {
+                name: RunStatistics(values=values)
+                for name, values in cached.items()
+            }
+    per_run = execute_items(
+        scenario_work_items(spec, root_seed, n_runs, columnar=columnar),
+        workers=workers,
+    )
+    collected = collect_metric_columns(per_run)
+    if key is not None:
+        assert cache is not None
+        cache.store(
+            key,
+            collected,
+            meta={
+                "tag": f"scenario/{spec.name}",
+                "fingerprint": spec.fingerprint(),
+                "seed": root_seed,
+                "n_runs": n_runs,
+            },
+        )
+    return {
+        name: RunStatistics(values=np.asarray(vals, dtype=np.float64))
+        for name, vals in collected.items()
+    }
+
+
 def run_scenario(
     spec: ScenarioSpec,
     *,
@@ -211,8 +576,10 @@ def run_scenario(
 ) -> Dict[str, RunStatistics]:
     """Run ``spec`` through the Monte-Carlo harness and aggregate.
 
-    ``backend``/``workers`` select serial or process-pool execution
-    (bit-identical either way); ``columnar=False`` drops to the
+    ``backend``/``workers`` select serial, process-pool or fused
+    work-queue execution (bit-identical in every case; ``fused``
+    additionally flattens multi-cell runs into per-cell tasks so runs
+    and cells share one pool); ``columnar=False`` drops to the
     per-device reference executor (the equivalence oracle the
     integration tests pin the fast path to). ``record_dir`` turns on
     event-log recording: every run writes one
@@ -236,6 +603,15 @@ def run_scenario(
                 "execution, so no events would be recorded)"
             )
         recording = []
+    if backend == "fused":
+        return _fused_scenario_stats(
+            spec,
+            root_seed,
+            spec.n_runs if n_runs is None else n_runs,
+            workers,
+            columnar,
+            cache,
+        )
     harness = MonteCarlo(
         n_runs=spec.n_runs if n_runs is None else n_runs,
         seed=root_seed,

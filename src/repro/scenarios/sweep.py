@@ -16,12 +16,15 @@ import itertools
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.experiments.reporting import Table
 from repro.multicast.coordination import MultiCellSpec
-from repro.scenarios.runner import run_scenario
+from repro.scenarios.runner import run_scenario, scenario_work_items
 from repro.scenarios.spec import ScenarioSpec
-from repro.sim.montecarlo import RunStatistics
+from repro.sim.dispatch import execute_items
+from repro.sim.montecarlo import RunStatistics, collect_metric_columns
 from repro.sim.parallel import ResultCache
 from repro.timebase import format_bytes
 
@@ -193,9 +196,27 @@ def run_sweep(
     ``record=1`` axis) write their per-run event logs into
     ``record_dir``; recording cells run serially and uncached (see
     :func:`run_scenario`). Without a ``record_dir`` the flag is inert.
+
+    ``backend="fused"`` flattens the whole grid — every (scenario,
+    run, cell) task of every non-recording grid cell — into one fused
+    work queue (:mod:`repro.sim.dispatch`), so there is no barrier
+    between grid cells: cells of one scenario variant execute while
+    another variant's runs are still materialising. Per-grid-cell
+    results are bit-identical to running each cell alone on any
+    backend.
     """
+    grid = expand_grid(scenarios, axes)
+    if backend == "fused":
+        return _run_sweep_fused(
+            grid,
+            workers=workers,
+            n_runs=n_runs,
+            columnar=columnar,
+            cache=cache,
+            record_dir=record_dir,
+        )
     results = []
-    for cell in expand_grid(scenarios, axes):
+    for cell in grid:
         recording = record_dir is not None and cell.spec.record_events
         stats = run_scenario(
             cell.spec,
@@ -206,6 +227,90 @@ def run_sweep(
             cache=None if recording else cache,
             record_dir=record_dir if recording else None,
         )
+        results.append((cell, stats))
+    return results
+
+
+def _run_sweep_fused(
+    grid: Sequence[SweepCell],
+    *,
+    workers: Optional[int],
+    n_runs: Optional[int],
+    columnar: bool,
+    cache: Optional[ResultCache],
+    record_dir: Optional[str],
+) -> "List[Tuple[SweepCell, Dict[str, RunStatistics]]]":
+    """One fused dispatch for the whole grid.
+
+    Recording cells still run serially through :func:`run_scenario`
+    (event logs cannot cross a pool); cached cells are answered from
+    the cache with the exact key any other backend would use. Every
+    remaining (scenario, run) work item — and the per-cell tasks each
+    multi-cell run fans out into — drains through a single scheduler.
+    """
+    slots: List[Optional[Dict[str, RunStatistics]]] = [None] * len(grid)
+    spans: List[Tuple[int, int, int, Optional[str], int]] = []
+    items = []
+    for index, cell in enumerate(grid):
+        if record_dir is not None and cell.spec.record_events:
+            slots[index] = run_scenario(
+                cell.spec,
+                backend="serial",
+                workers=workers,
+                n_runs=n_runs,
+                columnar=columnar,
+                cache=None,
+                record_dir=record_dir,
+            )
+            continue
+        runs = cell.spec.n_runs if n_runs is None else n_runs
+        key = None
+        if cache is not None:
+            key = ResultCache.key(
+                f"scenario/{cell.spec.name}",
+                cell.spec.fingerprint(),
+                cell.spec.seed,
+                runs,
+            )
+            cached = cache.load(key)
+            if cached is not None:
+                slots[index] = {
+                    name: RunStatistics(values=values)
+                    for name, values in cached.items()
+                }
+                continue
+        cell_items = scenario_work_items(
+            cell.spec, cell.spec.seed, runs, columnar=columnar
+        )
+        spans.append((index, len(items), len(cell_items), key, runs))
+        items.extend(cell_items)
+    if items:
+        outputs = execute_items(items, workers=workers)
+        for index, start, count, key, runs in spans:
+            collected = collect_metric_columns(
+                outputs[start : start + count]
+            )
+            if key is not None:
+                assert cache is not None
+                cache.store(
+                    key,
+                    collected,
+                    meta={
+                        "tag": f"scenario/{grid[index].spec.name}",
+                        "fingerprint": grid[index].spec.fingerprint(),
+                        "seed": grid[index].spec.seed,
+                        "n_runs": runs,
+                    },
+                )
+            slots[index] = {
+                name: RunStatistics(
+                    values=np.asarray(vals, dtype=np.float64)
+                )
+                for name, vals in collected.items()
+            }
+    results = []
+    for cell, stats in zip(grid, slots):
+        assert stats is not None
         results.append((cell, stats))
     return results
 

@@ -13,10 +13,12 @@ Three executors produce equivalent campaign results from a plan:
   integration tests to cross-validate the arithmetic and by examples
   that want an inspectable event trace.
 
-:mod:`repro.sim.montecarlo` runs seeded repetitions and aggregates,
-either in-process (``backend="serial"``) or sharded across a process
-pool (``backend="process"``, :mod:`repro.sim.parallel`) with an
-optional on-disk :class:`~repro.sim.parallel.ResultCache`.
+:mod:`repro.sim.montecarlo` runs seeded repetitions and aggregates:
+in-process (``backend="serial"``), sharded across a process pool
+(``backend="process"``, :mod:`repro.sim.parallel`), or flattened into
+the fused (run x cell) work queue (``backend="fused"``,
+:mod:`repro.sim.dispatch`) — all bit-identical — with an optional
+on-disk :class:`~repro.sim.parallel.ResultCache`.
 
 Every executor can additionally record a columnar event log
 (:mod:`repro.sim.eventlog`): pass an
@@ -44,6 +46,7 @@ from repro.sim.eventlog import (
     format_runlog_diff,
     repair_round_rows,
     replay_strict,
+    segment_loss_rows,
 )
 from repro.sim.metrics import (
     CampaignResult,
@@ -100,4 +103,5 @@ __all__ = [
     "format_runlog_diff",
     "repair_round_rows",
     "replay_strict",
+    "segment_loss_rows",
 ]

@@ -166,6 +166,7 @@ def execute_columnar(
         [timings.random_access.base_duration_s(c) for c in COVERAGE_ORDER],
         dtype=np.float64,
     )[coverage_codes]
+    ra_attempts = None
     if timings.random_access.collision_probability == 0.0:
         main_ra = ra_base
         # Deterministic adaptation episode: RA + setup + reconf + release.
@@ -178,12 +179,15 @@ def execute_columnar(
         # Contention: draw per device in directive order, exactly the
         # reference RNG stream (DA episode RA first, then the main RA).
         main_ra = np.empty(n, dtype=np.float64)
+        ra_attempts = np.empty(n, dtype=np.float64)
         episode = np.zeros(n, dtype=np.float64)
         for i, d in enumerate(directives):
             coverage = fleet[d.device_index].coverage
             if d.method is WakeMethod.DRX_ADAPTATION:
                 episode[i] = timings.adaptation_episode_s(coverage, rng)
-            main_ra[i] = timings.random_access.perform(coverage, rng).duration_s
+            outcome = timings.random_access.perform(coverage, rng)
+            main_ra[i] = outcome.duration_s
+            ra_attempts[i] = float(outcome.attempts)
 
     page_rx = np.where(is_ept, airtime.extended_paging_s, airtime.paging_message_s)
     wake_s = np.where(
@@ -320,6 +324,7 @@ def execute_columnar(
             episode=episode,
             ra_base=ra_base,
             main_ra=main_ra,
+            ra_attempts=ra_attempts,
             ready=ready,
             wait=wait,
             rx=rx,
@@ -365,6 +370,7 @@ def _emit_events(
     episode: np.ndarray,
     ra_base: np.ndarray,
     main_ra: np.ndarray,
+    ra_attempts: Optional[np.ndarray],
     ready: np.ndarray,
     wait: np.ndarray,
     rx: np.ndarray,
@@ -432,6 +438,15 @@ def _emit_events(
     recorder.emit_block(
         EventKind.CONNECTION_READY, v_frame_after_seconds(ready), dev, tx, main_ra, ready
     )
+    if ra_attempts is not None:
+        recorder.emit_block(
+            EventKind.RA_ATTEMPT,
+            v_frame_after_seconds(ready),
+            dev,
+            tx,
+            ra_attempts,
+            main_ra,
+        )
     recorder.emit_block(EventKind.DEVICE_DONE, main_busy_end, dev, tx, wait, rx)
 
     n_tx = starts.size

@@ -1,0 +1,443 @@
+"""The fused (run x cell) work-queue scheduler.
+
+Parallelism used to be siloed: :mod:`repro.sim.parallel` shards across
+Monte-Carlo runs, :meth:`repro.multicast.coordination.CoordinationEntity.
+rollout` shards across cells, and the sweep runner drives grid cells one
+at a time — so a many-run x many-cell sweep leaves workers idle between
+barriers. This module flattens all of that into **one** process pool fed
+from a single work queue.
+
+Determinism contract
+--------------------
+Every task carries a :class:`TaskAddress` ``(campaign, run_index,
+cell_index)`` plus an explicit seed-derivation pair ``(seed,
+spawn_index)``. The worker derives the task's generator as::
+
+    np.random.default_rng(np.random.SeedSequence(seed).spawn(k)[i])
+
+which depends only on ``(seed, i)`` — a ``SeedSequence`` child's
+``spawn_key`` is its spawn position, independent of how many siblings
+were spawned alongside it. Run ``i`` therefore sees the exact generator
+the serial harness hands it, and cell ``j`` of a run sees the exact
+child ``CoordinationEntity.rollout(seed=...)`` derives — results are
+bit-identical to the serial path for any worker count and any task
+completion order.
+
+Fan-out
+-------
+A task may return a :class:`FanOut` instead of a result: the scheduler
+then enqueues the fan-out's sub-items (e.g. one task per cell of a
+multi-cell run) and, once every sub-result has arrived, enqueues a
+reduction task that folds them — in canonical sub-item order — into the
+parent task's result. The bookkeeping lives in :class:`ReductionLedger`,
+which is a pure completion-order-independent state machine: the property
+tests drive it with shuffled completion orders and assert the canonical
+output never changes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sim.parallel import RunFn, default_workers
+
+#: A task function: (rng, address, payload) -> result | FanOut.
+TaskFn = Callable[[np.random.Generator, "TaskAddress", Any], Any]
+
+#: A reduction function: (state, sub_results, address) -> result.
+ReduceFn = Callable[[Any, List[Any], "TaskAddress"], Any]
+
+
+@dataclass(frozen=True)
+class TaskAddress:
+    """The deterministic identity of one work item.
+
+    ``campaign`` names the campaign (a scenario fingerprint, a cache
+    tag, ...), ``run_index`` the Monte-Carlo run and ``cell_index`` the
+    cell within the run; ``-1`` marks the axis as unused (a run-level
+    task has ``cell_index=-1``). Two tasks with the same address compute
+    the same thing — the address, not the submission or completion
+    order, is what the result is keyed by.
+    """
+
+    campaign: str
+    run_index: int
+    cell_index: int = -1
+
+    def __str__(self) -> str:
+        cell = "" if self.cell_index < 0 else f"/cell{self.cell_index}"
+        return f"{self.campaign}/run{self.run_index}{cell}"
+
+
+def derive_task_rng(seed: int, spawn_index: int) -> np.random.Generator:
+    """The fixed ``SeedSequence`` child generator of one task.
+
+    Child ``i`` of ``SeedSequence(seed)`` is identical no matter how
+    many siblings are spawned, so this is bit-compatible with both
+    ``spawn_generators(seed, n)[i]`` (the Monte-Carlo contract) and the
+    per-cell children ``rollout(seed=...)`` derives.
+    """
+    if spawn_index < 0:
+        raise ConfigurationError(
+            f"spawn_index must be >= 0, got {spawn_index}"
+        )
+    child = np.random.SeedSequence(seed).spawn(spawn_index + 1)[spawn_index]
+    return np.random.default_rng(child)
+
+
+@dataclass(frozen=True)
+class WorkItem:
+    """One schedulable task: an address, a function and its seed pair."""
+
+    address: TaskAddress
+    fn: TaskFn
+    payload: Any
+    seed: int
+    spawn_index: int
+
+
+@dataclass(frozen=True)
+class FanOut:
+    """Returned by a task that expands into sub-tasks.
+
+    ``items`` are scheduled like any other work item; once all their
+    results are in, ``reduce_fn(state, results, address)`` runs (on the
+    pool) with ``results`` in ``items`` order — the canonical order —
+    regardless of completion order. Only top-level tasks may fan out
+    (one level keeps the ledger, and the determinism argument, simple).
+    """
+
+    items: Tuple[WorkItem, ...]
+    reduce_fn: ReduceFn
+    state: Any
+
+
+def _execute_item(item: WorkItem) -> Any:
+    """Worker entry point: derive the task generator and run the task."""
+    rng = derive_task_rng(item.seed, item.spawn_index)
+    return item.fn(rng, item.address, item.payload)
+
+
+def _execute_reduce(
+    reduce_fn: ReduceFn,
+    state: Any,
+    results: List[Any],
+    address: TaskAddress,
+) -> Any:
+    """Worker entry point for a fan-out's reduction."""
+    return reduce_fn(state, results, address)
+
+
+_UNSET = object()
+
+
+@dataclass
+class _Group:
+    """One pending fan-out: sub-results accumulate until reduction."""
+
+    top_index: int
+    address: TaskAddress
+    reduce_fn: ReduceFn
+    state: Any
+    results: List[Any]
+    remaining: int
+
+
+@dataclass(frozen=True)
+class ReadyReduce:
+    """A fan-out whose sub-results are all in: reduction can run."""
+
+    top_index: int
+    address: TaskAddress
+    reduce_fn: ReduceFn
+    state: Any
+    results: List[Any]
+
+
+class ReductionLedger:
+    """Completion-order-independent reassembly of fused results.
+
+    The scheduler feeds completions in whatever order the pool yields
+    them; the ledger slots each one by address and reports what to do
+    next (schedule a fan-out's sub-items, run a ready reduction, or
+    nothing). ``results()`` returns the top-level results in submission
+    order and refuses to answer before every slot is filled — so the
+    output is a pure function of the per-task results, not of timing.
+    """
+
+    def __init__(self, n_top: int) -> None:
+        if n_top < 1:
+            raise ConfigurationError(f"need >= 1 top-level task, got {n_top}")
+        self._top: List[Any] = [_UNSET] * n_top
+        self._groups: Dict[int, _Group] = {}
+
+    def complete_top(self, index: int, value: Any) -> Optional[FanOut]:
+        """Record a top-level completion; returns a fan-out to schedule.
+
+        A plain value fills the slot; a :class:`FanOut` opens a group
+        whose reduction will fill the slot later.
+        """
+        if not 0 <= index < len(self._top):
+            raise ConfigurationError(f"top-level index {index} out of range")
+        if self._top[index] is not _UNSET or index in self._groups:
+            raise ConfigurationError(
+                f"top-level task {index} completed twice"
+            )
+        if isinstance(value, FanOut):
+            if not value.items:
+                raise ConfigurationError(
+                    "a FanOut needs at least one sub-item"
+                )
+            self._groups[index] = _Group(
+                top_index=index,
+                address=value.items[0].address,
+                reduce_fn=value.reduce_fn,
+                state=value.state,
+                results=[_UNSET] * len(value.items),
+                remaining=len(value.items),
+            )
+            return value
+        self._top[index] = value
+        return None
+
+    def complete_sub(
+        self, top_index: int, position: int, value: Any
+    ) -> Optional[ReadyReduce]:
+        """Record one sub-item completion; returns the reduction when
+        the group is complete."""
+        group = self._groups.get(top_index)
+        if group is None:
+            raise ConfigurationError(
+                f"no open fan-out for top-level task {top_index}"
+            )
+        if isinstance(value, FanOut):
+            raise ConfigurationError(
+                "nested fan-out: only top-level tasks may expand"
+            )
+        if not 0 <= position < len(group.results):
+            raise ConfigurationError(
+                f"sub-item position {position} out of range"
+            )
+        if group.results[position] is not _UNSET:
+            raise ConfigurationError(
+                f"sub-item {top_index}/{position} completed twice"
+            )
+        group.results[position] = value
+        group.remaining -= 1
+        if group.remaining:
+            return None
+        del self._groups[top_index]
+        return ReadyReduce(
+            top_index=top_index,
+            address=group.address,
+            reduce_fn=group.reduce_fn,
+            state=group.state,
+            results=list(group.results),
+        )
+
+    def complete_reduce(self, top_index: int, value: Any) -> None:
+        """Record a reduction's result into its top-level slot."""
+        if not 0 <= top_index < len(self._top):
+            raise ConfigurationError(
+                f"top-level index {top_index} out of range"
+            )
+        if self._top[top_index] is not _UNSET:
+            raise ConfigurationError(
+                f"top-level task {top_index} completed twice"
+            )
+        if isinstance(value, FanOut):
+            raise ConfigurationError(
+                "nested fan-out: a reduction may not expand"
+            )
+        self._top[top_index] = value
+
+    @property
+    def done(self) -> bool:
+        """True once every top-level slot holds a result."""
+        return not self._groups and all(
+            slot is not _UNSET for slot in self._top
+        )
+
+    def results(self) -> List[Any]:
+        """Top-level results in canonical (submission) order."""
+        if not self.done:
+            raise ConfigurationError(
+                "fused campaign incomplete: results are only available "
+                "once every task has completed"
+            )
+        return list(self._top)
+
+
+class FusedScheduler:
+    """One process pool draining a flattened (run x cell) work queue."""
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        workers = default_workers() if workers is None else workers
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self._workers = workers
+
+    @property
+    def workers(self) -> int:
+        """Pool size."""
+        return self._workers
+
+    def run(self, items: Sequence[WorkItem]) -> List[Any]:
+        """Execute every item (and whatever it fans out into).
+
+        Returns the per-item results in submission order; fan-out items
+        resolve to their reduction's result. Everything — task
+        functions, payloads, fan-out states, results — must be
+        picklable.
+        """
+        items = list(items)
+        if not items:
+            raise ConfigurationError("no work items to dispatch")
+        for item in items:
+            try:
+                pickle.dumps(item.fn)
+            except Exception as exc:
+                raise ConfigurationError(
+                    "fused dispatch requires picklable task functions "
+                    "(module-level function or functools.partial of "
+                    f"one); got {item.fn!r}: {exc}"
+                ) from exc
+
+        ledger = ReductionLedger(len(items))
+        with ProcessPoolExecutor(max_workers=self._workers) as pool:
+            #: future -> ("top", index) | ("sub", top_index, position)
+            #:        | ("reduce", top_index)
+            pending: Dict[Any, Tuple] = {}
+            for index, item in enumerate(items):
+                pending[pool.submit(_execute_item, item)] = ("top", index)
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    slot = pending.pop(future)
+                    value = future.result()
+                    if slot[0] == "top":
+                        fanout = ledger.complete_top(slot[1], value)
+                        if fanout is not None:
+                            for position, sub in enumerate(fanout.items):
+                                pending[pool.submit(_execute_item, sub)] = (
+                                    "sub", slot[1], position,
+                                )
+                    elif slot[0] == "sub":
+                        ready = ledger.complete_sub(slot[1], slot[2], value)
+                        if ready is not None:
+                            pending[
+                                pool.submit(
+                                    _execute_reduce,
+                                    ready.reduce_fn,
+                                    ready.state,
+                                    ready.results,
+                                    ready.address,
+                                )
+                            ] = ("reduce", ready.top_index)
+                    else:
+                        ledger.complete_reduce(slot[1], value)
+        return ledger.results()
+
+
+def execute_items(
+    items: Sequence[WorkItem], workers: Optional[int] = None
+) -> List[Any]:
+    """One-call front: dispatch ``items`` through a fused scheduler."""
+    return FusedScheduler(workers=workers).run(items)
+
+
+# ----------------------------------------------------------------------
+# Flat-map adapters (the montecarlo / rollout consumer surface)
+# ----------------------------------------------------------------------
+def _metric_task(
+    rng: np.random.Generator, address: TaskAddress, payload: Any
+) -> Dict[str, float]:
+    """One Monte-Carlo run as a fused task (floats cross back, like the
+    process backend's worker-side coercion)."""
+    fn = payload
+    return {k: float(v) for k, v in fn(rng, address.run_index).items()}
+
+
+def run_fused(
+    fn: RunFn,
+    seed: int,
+    n_runs: int,
+    workers: Optional[int] = None,
+    campaign: str = "montecarlo",
+) -> List[Dict[str, float]]:
+    """Execute a Monte-Carlo run function through the fused queue.
+
+    The flat counterpart of :func:`repro.sim.parallel.run_in_processes`:
+    run ``i`` is one work item addressed ``(campaign, i, -1)`` with the
+    standard child generator, so the per-run metric dicts are
+    bit-identical to the serial and process backends.
+    """
+    if n_runs < 1:
+        raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+    items = [
+        WorkItem(
+            address=TaskAddress(campaign, run_index),
+            fn=_metric_task,
+            payload=fn,
+            seed=seed,
+            spawn_index=run_index,
+        )
+        for run_index in range(n_runs)
+    ]
+    return execute_items(items, workers=workers)
+
+
+def _map_task(
+    rng: np.random.Generator, address: TaskAddress, payload: Any
+) -> Any:
+    """Generic per-item map adapter (mirrors parallel.MapFn calling
+    convention: fn(rng, item_index, item))."""
+    fn, index, item = payload
+    return fn(rng, index, item)
+
+
+def map_fused(
+    fn: Callable,
+    seed: int,
+    items: Sequence[Any],
+    workers: Optional[int] = None,
+    campaign: str = "map",
+    cell_ids: Optional[Sequence[int]] = None,
+) -> List[Any]:
+    """Map ``fn`` over ``items`` through the fused queue.
+
+    The flat counterpart of :func:`repro.sim.parallel.map_in_processes`:
+    item ``i`` receives ``SeedSequence(seed).spawn(n)[i]``, so results
+    are bit-identical to ``map_serial`` for any worker count.
+    ``cell_ids`` labels each item's task address as a cell of run 0
+    (the rollout consumer); without it items address as run indices.
+    """
+    items = list(items)
+    if not items:
+        raise ConfigurationError("no items to map")
+    if cell_ids is not None and len(cell_ids) != len(items):
+        raise ConfigurationError(
+            f"{len(cell_ids)} cell ids for {len(items)} items"
+        )
+    work = []
+    for index, item in enumerate(items):
+        if cell_ids is None:
+            address = TaskAddress(campaign, index)
+        else:
+            address = TaskAddress(campaign, 0, int(cell_ids[index]))
+        work.append(
+            WorkItem(
+                address=address,
+                fn=_map_task,
+                payload=(fn, index, item),
+                seed=seed,
+                spawn_index=index,
+            )
+        )
+    return execute_items(work, workers=workers)

@@ -65,7 +65,9 @@ SCHEMA_VERSION = 1
 #: DEVICE_DONE         connected wait (s)           payload rx charge (s)
 #: TX_START            realised start (s)           bearer rate (bit/s)
 #: TX_END              delivery end (s)             —
+#: RA_ATTEMPT          preamble attempts (count)    RA duration (s)
 #: REPAIR_ROUND        segments sent this round     round number (1-based)
+#: SEGMENT_LOSS        missing (dev, seg) pairs     round number (1-based)
 #: CAMPAIGN_SUBMIT     member count                 transmission count
 #: CAMPAIGN_REVISE     devices joined               devices left
 #: CAMPAIGN_ADMIT      transmission index           shift (frames, 0=as asked)
@@ -106,6 +108,8 @@ KIND_CODES: Dict[EventKind, int] = {
     EventKind.CAMPAIGN_DEFER: 14,
     EventKind.DEVICE_JOIN: 15,
     EventKind.DEVICE_LEAVE: 16,
+    EventKind.RA_ATTEMPT: 17,
+    EventKind.SEGMENT_LOSS: 18,
 }
 
 CODE_TO_KIND: Dict[int, EventKind] = {code: kind for kind, code in KIND_CODES.items()}
@@ -320,6 +324,29 @@ def repair_round_rows(
     for i, segments in enumerate(segments_per_round):
         rows["frame"][i] = horizon_frames + 1 + i
         rows["a"][i] = float(segments)
+        rows["b"][i] = float(i + 1)
+    return rows
+
+
+def segment_loss_rows(
+    missing_per_round: Sequence[int], horizon_frames: int
+) -> np.ndarray:
+    """SEGMENT_LOSS rows appended after the radio horizon.
+
+    One row per repair round, on the same synthetic frame as that
+    round's REPAIR_ROUND row (the kinds disambiguate the canonical
+    sort): ``a`` is the number of (device, segment) pairs still missing
+    *after* the round — the loss that drives the next round — and ``b``
+    the 1-based round number. The last row's ``a`` is the campaign's
+    residual miss count (0 unless ``max_rounds`` was hit).
+    """
+    rows = np.zeros(len(missing_per_round), dtype=EVENT_DTYPE)
+    rows["kind"] = KIND_CODES[EventKind.SEGMENT_LOSS]
+    rows["device"] = -1
+    rows["group"] = -1
+    for i, missing in enumerate(missing_per_round):
+        rows["frame"][i] = horizon_frames + 1 + i
+        rows["a"][i] = float(missing)
         rows["b"][i] = float(i + 1)
     return rows
 

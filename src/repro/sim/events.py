@@ -28,6 +28,11 @@ class EventKind(Enum):
     CONNECTION_READY = "connection_ready"
     """Random access + RRC setup finished; device awaits the data."""
 
+    RA_ATTEMPT = "ra_attempt"
+    """Log-only: a device's main random-access procedure, with its
+    preamble attempt count (collisions = attempts - 1). Emitted only
+    when the RA model injects contention."""
+
     TX_START = "tx_start"
     """A multicast (or unicast) transmission begins."""
 
@@ -39,6 +44,10 @@ class EventKind(Enum):
 
     REPAIR_ROUND = "repair_round"
     """Log-only: one application-layer repair round completed."""
+
+    SEGMENT_LOSS = "segment_loss"
+    """Log-only: the (device, segment) pairs still missing after one
+    repair round — the loss that drives the next round."""
 
     CAMPAIGN_SUBMIT = "campaign_submit"
     """Service: a campaign was submitted and planned."""

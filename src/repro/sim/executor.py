@@ -150,12 +150,14 @@ class CampaignExecutor:
                 wake_s = frames_to_seconds(directive.connect_frame)
                 ra = self._timings.random_access.perform(device.coverage, rng)
                 timeline.ra_s = ra.duration_s
+                timeline.ra_attempts = ra.attempts
                 timeline.ready_s = wake_s + ra.duration_s + airtime.rrc_setup_s
             else:
                 timeline.page_rx_s = airtime.paging_message_s
                 page_s = frames_to_seconds(directive.page_frame)
                 ra = self._timings.random_access.perform(device.coverage, rng)
                 timeline.ra_s = ra.duration_s
+                timeline.ra_attempts = ra.attempts
                 timeline.ready_s = (
                     page_s
                     + airtime.paging_message_s
@@ -332,6 +334,15 @@ class CampaignExecutor:
             a=timeline.ra_s,
             b=timeline.ready_s,
         )
+        if self._timings.random_access.collision_probability > 0.0:
+            recorder.emit(
+                EventKind.RA_ATTEMPT,
+                frame_after_seconds(timeline.ready_s),
+                dev,
+                tx,
+                a=float(timeline.ra_attempts),
+                b=timeline.ra_s,
+            )
         recorder.emit(
             EventKind.DEVICE_DONE,
             frame_after_seconds(timeline.main_end_s),
@@ -431,6 +442,7 @@ class _DeviceTimeline:
         "directive",
         "page_rx_s",
         "ra_s",
+        "ra_attempts",
         "ready_s",
         "adaptation_paging_s",
         "adaptation_episode_s",
@@ -445,6 +457,7 @@ class _DeviceTimeline:
         self.directive = directive
         self.page_rx_s = 0.0
         self.ra_s = 0.0
+        self.ra_attempts = 1
         self.ready_s = 0.0
         self.adaptation_paging_s = 0.0
         self.adaptation_episode_s = 0.0

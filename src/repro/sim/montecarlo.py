@@ -6,11 +6,16 @@ caller-supplied run function over them, and aggregates each returned
 metric into a :class:`RunStatistics` (mean, standard deviation, 95 %
 confidence half-width).
 
-Two execution backends produce bit-identical results:
+Three execution backends produce bit-identical results:
 
 * ``serial`` — runs in-process, one run after another (the default);
 * ``process`` — shards the run list across a process pool
   (:mod:`repro.sim.parallel`); requires a picklable run function.
+* ``fused`` — one run per work item through the fused (run x cell)
+  work-queue scheduler (:mod:`repro.sim.dispatch`); requires a
+  picklable run function. For generic run functions this is a flat
+  map, but scenario campaigns route per-cell sub-tasks through the
+  same queue (see :mod:`repro.scenarios.runner`).
 
 An optional :class:`~repro.sim.parallel.ResultCache` short-circuits
 repeated campaigns: when a ``cache_tag`` is supplied and the cache holds
@@ -30,7 +35,7 @@ from repro.sim.parallel import ResultCache, RunFn, run_in_processes
 from repro.sim.rng import spawn_generators
 
 #: Execution backends accepted by :class:`MonteCarlo`.
-BACKENDS = ("serial", "process")
+BACKENDS = ("serial", "process", "fused")
 
 
 @dataclass(frozen=True)
@@ -127,13 +132,26 @@ def _collect(per_run: Sequence[Mapping[str, float]]) -> Dict[str, List[float]]:
     return collected
 
 
+def collect_metric_columns(
+    per_run: Sequence[Mapping[str, float]],
+) -> Dict[str, List[float]]:
+    """Validate and pivot per-run metric dicts into metric columns.
+
+    The public face of the harness's aggregation step, for executors
+    (like the fused scenario path) that produce the per-run dicts
+    outside :meth:`MonteCarlo.run` but must aggregate — and cache —
+    identically to it.
+    """
+    return _collect(per_run)
+
+
 class MonteCarlo:
     """Runs a seeded experiment ``n_runs`` times and aggregates metrics.
 
-    ``backend`` selects how the runs execute (``"serial"`` or
-    ``"process"``); both spawn run ``i``'s generator identically, so the
-    aggregated arrays are bit-for-bit equal across backends and worker
-    counts.
+    ``backend`` selects how the runs execute (``"serial"``,
+    ``"process"`` or ``"fused"``); all spawn run ``i``'s generator
+    identically, so the aggregated arrays are bit-for-bit equal across
+    backends and worker counts.
     """
 
     def __init__(
@@ -189,9 +207,10 @@ class MonteCarlo:
         """Execute ``fn`` once per run and aggregate every metric.
 
         When a cache is attached *and* ``cache_tag`` identifies the
-        campaign, a prior result with the same (tag, fingerprint, seed,
-        n_runs, code version) is returned without executing anything,
-        and a fresh result is persisted for next time.
+        campaign, a prior result with the same deterministic address
+        (tag, fingerprint, seed, n_runs) is returned without executing
+        anything — whichever backend wrote it — and a fresh result is
+        persisted for next time.
 
         Every scenario parameter baked into ``fn`` must be covered by
         ``config_fingerprint`` (or the tag itself) — otherwise two
@@ -213,6 +232,12 @@ class MonteCarlo:
 
         if self._backend == "process":
             per_run = run_in_processes(
+                fn, self._seed, self._n_runs, workers=self._workers
+            )
+        elif self._backend == "fused":
+            from repro.sim.dispatch import run_fused
+
+            per_run = run_fused(
                 fn, self._seed, self._n_runs, workers=self._workers
             )
         else:

@@ -11,8 +11,11 @@ many workers execute the campaign — results are bit-identical to the
 serial path for any worker count.
 
 The :class:`ResultCache` persists aggregated metric arrays keyed by
-``(scenario fingerprint, seed, n_runs, code version)`` so regenerating
-an already-computed figure is a cache lookup instead of a simulation.
+the deterministic task address ``(tag, scenario fingerprint, seed,
+n_runs)`` so regenerating an already-computed figure is a cache lookup
+instead of a simulation — and every backend (serial, process, fused)
+derives the same key for the same campaign, so entries are shared
+across backends and worker counts.
 """
 
 from __future__ import annotations
@@ -239,10 +242,14 @@ def fingerprint(obj: Any) -> str:
 class ResultCache:
     """Persists aggregated Monte-Carlo metric arrays as JSON files.
 
-    A cache entry is keyed by the sha256 of
-    ``(tag, scenario fingerprint, seed, n_runs, code version)``; bumping
-    the package version therefore invalidates every prior entry, and any
-    change to the experiment configuration changes the fingerprint.
+    A cache entry is keyed by the sha256 of the deterministic task
+    address ``(tag, scenario fingerprint, seed, n_runs)`` — exactly
+    the coordinates that fix a campaign's results bit-for-bit, and
+    nothing else. Execution details (backend, worker count, code
+    version) are deliberately absent: any backend replaying the same
+    address reproduces the same arrays, so it may reuse any backend's
+    entry. The package version that *wrote* an entry is recorded in
+    its stored metadata for forensics, not in the key.
     """
 
     def __init__(self, directory: "str | os.PathLike[str]") -> None:
@@ -259,16 +266,15 @@ class ResultCache:
         config_fingerprint: str,
         seed: int,
         n_runs: int,
-        version: str = __version__,
     ) -> str:
-        """The cache key for one aggregated campaign."""
+        """The cache key for one aggregated campaign: a hash of its
+        deterministic task address and nothing more."""
         blob = json.dumps(
             {
                 "tag": tag,
                 "fingerprint": config_fingerprint,
                 "seed": seed,
                 "n_runs": n_runs,
-                "version": version,
             },
             sort_keys=True,
         )
@@ -301,10 +307,15 @@ class ResultCache:
         metrics: Mapping[str, Sequence[float]],
         meta: Optional[Mapping[str, Any]] = None,
     ) -> Path:
-        """Persist ``metrics`` under ``key`` (atomic rename)."""
+        """Persist ``metrics`` under ``key`` (atomic rename).
+
+        The writing package version is stamped into the entry's
+        metadata (callers may override it via ``meta``) so stale
+        entries remain attributable even though the key ignores it.
+        """
         self._dir.mkdir(parents=True, exist_ok=True)
         payload = {
-            "meta": dict(meta or {}),
+            "meta": {"version": __version__, **dict(meta or {})},
             "metrics": {
                 name: [float(v) for v in values]
                 for name, values in metrics.items()

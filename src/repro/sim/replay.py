@@ -395,6 +395,13 @@ class _DeviceActor:
             a=ra.duration_s,
             b=self.ready_s,
         )
+        if timings.random_access.collision_probability > 0.0:
+            self._record(
+                EventKind.RA_ATTEMPT,
+                frame_after_seconds(self.ready_s),
+                a=float(ra.attempts),
+                b=ra.duration_s,
+            )
         self._campaign.sim.schedule(
             Event(
                 self.ready_s,

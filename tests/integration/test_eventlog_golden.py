@@ -108,3 +108,67 @@ def test_different_runs_diverge(recorded_registry):
     first, second = recorded_registry["paper-baseline"][:2]
     diff = diff_runlogs(first.runlog, second.runlog)
     assert not diff.is_empty
+
+
+class TestGoldenRunlogPins:
+    """The committed ``.npz`` pins are live witnesses of run 0."""
+
+    def test_every_scenario_is_pinned(self):
+        from repro.scenarios.golden import golden_runlog_path
+
+        for name in scenario_names():
+            path = golden_runlog_path(name)
+            assert path.exists(), f"{name} has no event-log pin at {path}"
+            RunLog.load(path)  # must at least deserialise
+
+    @pytest.mark.parametrize("name", scenario_names())
+    def test_pin_is_event_identical_to_fresh_recording(
+        self, name, recorded_registry
+    ):
+        from repro.scenarios.golden import golden_runlog_path
+
+        pinned = RunLog.load(golden_runlog_path(name))
+        fresh = recorded_registry[name][0].runlog
+        diff = diff_runlogs(pinned, fresh)
+        assert diff.is_empty and not diff.meta_notes, (
+            f"{name}: committed event-log pin diverged from a fresh "
+            "recording; re-pin with `python -m repro scenarios run "
+            "--all --update-golden` if intentional"
+        )
+
+    def test_pins_witness_the_contention_and_loss_kinds(self):
+        from repro.scenarios.golden import golden_runlog_path
+        from repro.sim.eventlog import KIND_CODES
+        from repro.sim.events import EventKind
+
+        def kind_count(runlog, kind):
+            return sum(
+                int((log.events["kind"] == KIND_CODES[kind]).sum())
+                for log in runlog.cells.values()
+            )
+
+        storm = RunLog.load(golden_runlog_path("contention-storm"))
+        assert kind_count(storm, EventKind.RA_ATTEMPT) > 0, (
+            "contention pin must carry RA_ATTEMPT rows"
+        )
+        lossy = RunLog.load(golden_runlog_path("lossy-link-repair"))
+        assert kind_count(lossy, EventKind.SEGMENT_LOSS) > 0, (
+            "repair pin must carry SEGMENT_LOSS rows"
+        )
+
+    def test_missing_pin_points_at_repin(self, tmp_path):
+        from repro.scenarios.golden import golden_event_diff
+
+        message = golden_event_diff("paper-baseline", directory=tmp_path)
+        assert message is not None
+        assert "--update-golden" in message
+
+    def test_drifted_scenarios_extracts_names_once(self):
+        from repro.scenarios.golden import drifted_scenarios
+
+        problems = [
+            "dense-urban.mean_wait_s: pinned 1.0 but got 2.0",
+            "dense-urban.energy_j: pinned 3.0 but got 4.0",
+            "skewed-cells: pinned scenario missing from current run",
+        ]
+        assert drifted_scenarios(problems) == ["dense-urban", "skewed-cells"]
