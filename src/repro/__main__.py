@@ -169,6 +169,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_p = actions.add_parser("run", help="run scenarios and print metrics")
     _selection_and_execution(run_p)
     run_p.add_argument(
+        "--progress", action="store_true",
+        help=(
+            "stream one line per completed cell/run as results land "
+            "(requires --backend fused)"
+        ),
+    )
+    run_p.add_argument(
         "--metrics-out", metavar="FILE", default=None,
         help="also write the headline metrics as JSON to FILE",
     )
@@ -459,6 +466,21 @@ def _scenarios_list() -> int:
     return 0
 
 
+def _print_partial(partial) -> None:
+    """One-line progress report per streamed fused partial result."""
+    where = f" ({partial.address})" if partial.address is not None else ""
+    if partial.kind == "sub":
+        print(
+            f"  run {partial.top_index}: cell slot {partial.position} "
+            f"done{where}",
+            flush=True,
+        )
+    elif partial.kind == "reduce":
+        print(f"  run {partial.top_index}: reduced{where}", flush=True)
+    else:
+        print(f"  run {partial.top_index}: done{where}", flush=True)
+
+
 def _scenarios_run(args) -> int:
     import json
 
@@ -503,6 +525,13 @@ def _scenarios_run(args) -> int:
         print(f"re-pinned {len(runlogs)} golden event logs")
         return 0
 
+    on_partial = None
+    if args.progress:
+        if backend != "fused":
+            print("--progress requires --backend fused", file=sys.stderr)
+            return 2
+        on_partial = _print_partial
+
     results = {
         spec.name: run_scenario(
             spec,
@@ -511,6 +540,7 @@ def _scenarios_run(args) -> int:
             n_runs=args.runs,
             seed=args.seed,
             columnar=columnar,
+            on_partial=on_partial,
         )
         for spec in specs
     }

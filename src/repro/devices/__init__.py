@@ -1,17 +1,27 @@
 """NB-IoT device and fleet modelling.
 
 A device couples an identity (from which its paging occasions derive),
-a DRX configuration, a coverage class and a category. A
-:class:`~repro.devices.fleet.Fleet` is an immutable, indexable collection
-of devices exposing columnar NumPy views (phases, periods, coverage
-rates) that the vectorised planners operate on.
+a DRX configuration, a coverage class and a category. The canonical
+form of a fleet is :class:`~repro.devices.arrays.FleetArrays` — a
+frozen struct-of-arrays, one row per device — which
+:class:`~repro.devices.fleet.Fleet` wraps with the indexable,
+device-view collection API the planners and tests use.
+:class:`~repro.devices.sharedmem.SharedFleet` maps the same columns
+into POSIX shared memory so every worker of a campaign shares one
+physical fleet.
 """
 
 from repro.devices.identity import DeviceIdentity
 from repro.devices.profiles import DeviceCategory
 from repro.devices.battery import Battery
 from repro.devices.device import NbIotDevice
+from repro.devices.arrays import CATEGORY_ORDER, FleetArrays
 from repro.devices.fleet import COVERAGE_ORDER, Fleet
+from repro.devices.sharedmem import (
+    SharedFleet,
+    SharedFleetDescriptor,
+    unlink_descriptor,
+)
 
 __all__ = [
     "DeviceIdentity",
@@ -19,5 +29,10 @@ __all__ = [
     "Battery",
     "NbIotDevice",
     "Fleet",
+    "FleetArrays",
+    "SharedFleet",
+    "SharedFleetDescriptor",
+    "unlink_descriptor",
     "COVERAGE_ORDER",
+    "CATEGORY_ORDER",
 ]

@@ -1,0 +1,362 @@
+"""The columnar fleet representation: one frozen struct-of-arrays.
+
+``FleetArrays`` is the canonical form of a fleet. Every column is a
+contiguous, read-only NumPy array in a **fixed schema** (one row per
+device), so a 10^6-device fleet is ~90 MB of flat arrays instead of a
+tuple of a million Python objects — and the whole representation can be
+mapped into :mod:`multiprocessing.shared_memory` byte-for-byte (see
+:mod:`repro.devices.sharedmem`).
+
+:class:`~repro.devices.fleet.Fleet` wraps a ``FleetArrays`` and builds
+:class:`~repro.devices.device.NbIotDevice` *views* from the columns
+lazily (:meth:`FleetArrays.device_at`); the planners and executors never
+need them. The columns capture a device's *negotiated* state — an
+adapted DRX override (a transient eNB-side notion that lives in plans,
+not fleets) is not representable, and a device view reconstructed from
+the columns is always in its negotiated configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from fractions import Fraction
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.devices.battery import Battery
+from repro.devices.device import NbIotDevice
+from repro.devices.identity import DeviceIdentity
+from repro.devices.profiles import DeviceCategory
+from repro.drx.config import DrxConfig
+from repro.drx.cycles import DrxCycle
+from repro.drx.paging import NB, v_paging_frame_offset
+from repro.errors import FleetError
+from repro.phy.coverage import PROFILES, CoverageClass
+
+#: Coverage classes in the fixed order :attr:`FleetArrays.coverage_codes`
+#: indexes into (code ``i`` means ``COVERAGE_ORDER[i]``).
+COVERAGE_ORDER: Tuple[CoverageClass, ...] = tuple(CoverageClass)
+
+COVERAGE_CODE: Dict[CoverageClass, int] = {
+    coverage: i for i, coverage in enumerate(COVERAGE_ORDER)
+}
+
+#: Device categories in the fixed order ``category_codes`` indexes into.
+CATEGORY_ORDER: Tuple[DeviceCategory, ...] = tuple(DeviceCategory)
+
+CATEGORY_CODE: Dict[DeviceCategory, int] = {
+    category: i for i, category in enumerate(CATEGORY_ORDER)
+}
+
+_NB_BY_FRACTION: Dict[Fraction, NB] = {member.fraction: member for member in NB}
+
+#: Sustained downlink rate per coverage code (``COVERAGE_ORDER`` order).
+_RATE_BY_CODE = np.array(
+    [PROFILES[coverage].downlink_bps for coverage in COVERAGE_ORDER],
+    dtype=np.float64,
+)
+
+#: The fixed column schema: (field name, dtype). Every column is 8 bytes
+#: per device, which is what makes the shared-memory layout a pure
+#: function of the device count.
+COLUMN_SCHEMA: Tuple[Tuple[str, np.dtype], ...] = (
+    ("imsis", np.dtype(np.int64)),
+    ("periods", np.dtype(np.int64)),
+    ("phases", np.dtype(np.int64)),
+    ("ue_ids", np.dtype(np.int64)),
+    ("coverage_codes", np.dtype(np.int64)),
+    ("category_codes", np.dtype(np.int64)),
+    ("nb_numerators", np.dtype(np.int64)),
+    ("nb_denominators", np.dtype(np.int64)),
+    ("downlink_bps", np.dtype(np.float64)),
+    ("battery_capacity_mah", np.dtype(np.float64)),
+    ("battery_voltage_v", np.dtype(np.float64)),
+)
+
+#: Bytes per device across all columns (8 bytes per column).
+BYTES_PER_DEVICE = 8 * len(COLUMN_SCHEMA)
+
+
+def fleet_nbytes(n_devices: int) -> int:
+    """Canonical single-copy footprint of an ``n_devices`` fleet."""
+    return int(n_devices) * BYTES_PER_DEVICE
+
+
+def _frozen(column: np.ndarray, dtype: np.dtype) -> np.ndarray:
+    """Coerce ``column`` to a read-only contiguous array of ``dtype``.
+
+    Arrays that already match (e.g. views over a shared-memory buffer)
+    are passed through without copying — that pass-through is what keeps
+    attached fleets zero-copy.
+    """
+    out = np.ascontiguousarray(column, dtype=dtype)
+    if out.ndim != 1:
+        raise FleetError(f"fleet columns must be 1-D, got shape {out.shape}")
+    out.flags.writeable = False
+    return out
+
+
+@dataclass(frozen=True, eq=False)
+class FleetArrays:
+    """A fleet as a frozen struct-of-arrays (one row per device).
+
+    Battery columns hold NaN for devices without a battery. Use
+    :meth:`from_devices` / :meth:`from_columns` to construct; the raw
+    constructor expects every column of the schema, equal-length and
+    non-empty.
+    """
+
+    imsis: np.ndarray
+    periods: np.ndarray
+    phases: np.ndarray
+    ue_ids: np.ndarray
+    coverage_codes: np.ndarray
+    category_codes: np.ndarray
+    nb_numerators: np.ndarray
+    nb_denominators: np.ndarray
+    downlink_bps: np.ndarray
+    battery_capacity_mah: np.ndarray
+    battery_voltage_v: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = None
+        for name, dtype in COLUMN_SCHEMA:
+            column = _frozen(getattr(self, name), dtype)
+            object.__setattr__(self, name, column)
+            if n is None:
+                n = column.size
+            elif column.size != n:
+                raise FleetError(
+                    f"fleet column {name!r} has {column.size} rows, "
+                    f"expected {n}"
+                )
+        if not n:
+            raise FleetError("a fleet must contain at least one device")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_devices(cls, devices: Sequence[NbIotDevice]) -> "FleetArrays":
+        """Capture the columns of a sequence of device objects."""
+        if not devices:
+            raise FleetError("a fleet must contain at least one device")
+        devices = tuple(devices)
+        nb_fractions = [d.drx.nb.fraction for d in devices]
+        return cls(
+            imsis=np.array([d.identity.imsi for d in devices], np.int64),
+            periods=np.array([int(d.cycle) for d in devices], np.int64),
+            phases=np.array([d.pattern.phase for d in devices], np.int64),
+            ue_ids=np.array([d.drx.ue_id for d in devices], np.int64),
+            coverage_codes=np.array(
+                [COVERAGE_CODE[d.coverage] for d in devices], np.int64
+            ),
+            category_codes=np.array(
+                [CATEGORY_CODE[d.category] for d in devices], np.int64
+            ),
+            nb_numerators=np.array(
+                [f.numerator for f in nb_fractions], np.int64
+            ),
+            nb_denominators=np.array(
+                [f.denominator for f in nb_fractions], np.int64
+            ),
+            downlink_bps=np.array(
+                [PROFILES[d.coverage].downlink_bps for d in devices],
+                np.float64,
+            ),
+            battery_capacity_mah=np.array(
+                [
+                    np.nan if d.battery is None else d.battery.capacity_mah
+                    for d in devices
+                ],
+                np.float64,
+            ),
+            battery_voltage_v=np.array(
+                [
+                    np.nan if d.battery is None else d.battery.voltage_v
+                    for d in devices
+                ],
+                np.float64,
+            ),
+        )
+
+    @classmethod
+    def from_columns(
+        cls,
+        *,
+        imsis: np.ndarray,
+        periods: np.ndarray,
+        coverage_codes: np.ndarray,
+        category_codes: np.ndarray,
+        nb: NB = NB.ONE_T,
+        battery: Optional[Battery] = None,
+    ) -> "FleetArrays":
+        """Build a fleet from its independent columns.
+
+        The derived columns (paging identity, PO phase, downlink rate)
+        are computed vectorised — bit-identical to what per-device
+        construction would produce — so no device object ever exists.
+        ``nb`` and ``battery`` are fleet-wide (the generator's model).
+        """
+        imsis = np.ascontiguousarray(imsis, np.int64)
+        periods = np.ascontiguousarray(periods, np.int64)
+        coverage_codes = np.ascontiguousarray(coverage_codes, np.int64)
+        n = imsis.size
+        if not n:
+            raise FleetError("a fleet must contain at least one device")
+        from repro.devices.identity import MAX_IMSI
+
+        if imsis.min() <= 0 or imsis.max() > MAX_IMSI:
+            raise FleetError("IMSIs must be positive 15-digit integers")
+        for code_column, order, what in (
+            (coverage_codes, COVERAGE_ORDER, "coverage"),
+            (
+                np.ascontiguousarray(category_codes, np.int64),
+                CATEGORY_ORDER,
+                "category",
+            ),
+        ):
+            if code_column.min() < 0 or code_column.max() >= len(order):
+                raise FleetError(f"{what} code out of range")
+        ladder = np.unique(periods)
+        for frames in ladder.tolist():
+            DrxCycle(frames)  # validates ladder membership
+        ue_ids = imsis % 4096
+        shape = np.ones(n, dtype=np.int64)
+        return cls(
+            imsis=imsis,
+            periods=periods,
+            phases=v_paging_frame_offset(ue_ids, periods, nb),
+            ue_ids=ue_ids,
+            coverage_codes=coverage_codes,
+            category_codes=np.ascontiguousarray(category_codes, np.int64),
+            nb_numerators=shape * nb.fraction.numerator,
+            nb_denominators=shape * nb.fraction.denominator,
+            downlink_bps=_RATE_BY_CODE[coverage_codes],
+            battery_capacity_mah=np.full(
+                n, np.nan if battery is None else battery.capacity_mah
+            ),
+            battery_voltage_v=np.full(
+                n, np.nan if battery is None else battery.voltage_v
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Shape and identity
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of devices."""
+        return self.imsis.size
+
+    def __len__(self) -> int:
+        return self.n
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes across all columns (the single-copy footprint)."""
+        return fleet_nbytes(self.n)
+
+    def columns(self) -> Iterator[Tuple[str, np.ndarray]]:
+        """``(name, column)`` pairs in schema order."""
+        for name, _ in COLUMN_SCHEMA:
+            yield name, getattr(self, name)
+
+    def equals(self, other: "FleetArrays") -> bool:
+        """Exact column-wise equality (NaN battery slots compare equal)."""
+        if not isinstance(other, FleetArrays) or self.n != other.n:
+            return False
+        for name, dtype in COLUMN_SCHEMA:
+            mine, theirs = getattr(self, name), getattr(other, name)
+            if dtype.kind == "f":
+                if not np.array_equal(mine, theirs, equal_nan=True):
+                    return False
+            elif not np.array_equal(mine, theirs):
+                return False
+        return True
+
+    def validate_unique_imsis(self) -> None:
+        """Raise :class:`FleetError` when two rows share an IMSI."""
+        if np.unique(self.imsis).size != self.n:
+            raise FleetError("fleet contains duplicate IMSIs")
+
+    # ------------------------------------------------------------------
+    # Slicing and composition
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "FleetArrays":
+        """The sub-fleet at ``indices`` (fancy-indexing every column)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size == 0:
+            raise FleetError("a fleet must contain at least one device")
+        return FleetArrays(
+            **{name: column[idx] for name, column in self.columns()}
+        )
+
+    @classmethod
+    def concatenate(
+        cls, parts: Sequence["FleetArrays"]
+    ) -> "FleetArrays":
+        """Row-wise concatenation of several fleets' columns."""
+        if not parts:
+            raise FleetError("a fleet must contain at least one device")
+        if len(parts) == 1:
+            return parts[0]
+        return cls(
+            **{
+                name: np.concatenate([getattr(p, name) for p in parts])
+                for name, _ in COLUMN_SCHEMA
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Row views
+    # ------------------------------------------------------------------
+    def battery_at(self, index: int) -> Optional[Battery]:
+        """The device's battery (None when the NaN sentinel is stored)."""
+        capacity = float(self.battery_capacity_mah[index])
+        if np.isnan(capacity):
+            return None
+        return Battery(
+            capacity_mah=capacity,
+            voltage_v=float(self.battery_voltage_v[index]),
+        )
+
+    def device_at(self, index: int) -> NbIotDevice:
+        """Materialise one device view from row ``index``.
+
+        The view is a plain (frozen, value-equal) ``NbIotDevice`` in its
+        negotiated configuration — building it is O(1) and independent
+        of the fleet size, which is what lets a million-device fleet
+        serve ``fleet[i]`` without ever holding a million objects.
+        """
+        cycle = DrxCycle(int(self.periods[index]))
+        nb = _NB_BY_FRACTION[
+            Fraction(
+                int(self.nb_numerators[index]),
+                int(self.nb_denominators[index]),
+            )
+        ]
+        return NbIotDevice(
+            identity=DeviceIdentity(int(self.imsis[index])),
+            drx=DrxConfig(
+                ue_id=int(self.ue_ids[index]),
+                preferred_cycle=cycle,
+                active_cycle=cycle,
+                nb=nb,
+            ),
+            coverage=COVERAGE_ORDER[int(self.coverage_codes[index])],
+            category=CATEGORY_ORDER[int(self.category_codes[index])],
+            battery=self.battery_at(index),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FleetArrays(n={self.n}, nbytes={self.nbytes})"
+
+
+#: All schema field names (kept in sync with the dataclass by tests).
+COLUMN_NAMES: Tuple[str, ...] = tuple(name for name, _ in COLUMN_SCHEMA)
+
+assert COLUMN_NAMES == tuple(
+    f.name for f in fields(FleetArrays)
+), "COLUMN_SCHEMA and FleetArrays fields diverged"

@@ -1,79 +1,104 @@
 """The fleet: an immutable, indexable device collection with NumPy views.
 
-Grouping mechanisms address devices by fleet index (0..n-1). The fleet
-precomputes the columnar arrays (PO phases, periods, coverage rates)
-that the vectorised planners consume, so building a plan for a thousand
-devices is a handful of NumPy operations rather than a Python loop.
+Grouping mechanisms address devices by fleet index (0..n-1). Since the
+columnar inversion the canonical state of a fleet is a
+:class:`~repro.devices.arrays.FleetArrays` struct-of-arrays; the
+vectorised planners consume those columns directly, and
+:class:`NbIotDevice` objects are *views* built lazily from the rows.
+A fleet constructed from a million-row ``FleetArrays`` therefore costs
+~90 MB of flat arrays and zero Python device objects until someone
+actually indexes into it.
+
+Fleets built from device objects (tests, hand-rolled examples) keep the
+original objects cached so iteration returns the identical instances;
+fleets built from arrays (the generator, shared-memory attach,
+``subset``) materialise views on demand. Either way the two forms agree:
+a reconstructed view is value-equal to the device that produced the row.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.devices.arrays import COVERAGE_ORDER, FleetArrays
 from repro.devices.device import NbIotDevice
 from repro.drx.cycles import DrxCycle
 from repro.errors import FleetError
-from repro.phy.coverage import PROFILES, CoverageClass
+from repro.phy.coverage import CoverageClass
 
-#: Coverage classes in the fixed order :attr:`Fleet.coverage_codes`
-#: indexes into (code ``i`` means ``COVERAGE_ORDER[i]``).
-COVERAGE_ORDER: Tuple[CoverageClass, ...] = tuple(CoverageClass)
-
-_COVERAGE_CODE = {coverage: i for i, coverage in enumerate(COVERAGE_ORDER)}
+__all__ = ["COVERAGE_ORDER", "Fleet"]
 
 
 class Fleet:
     """An ordered, immutable collection of NB-IoT devices."""
 
+    _arrays: FleetArrays
+    _devices_cache: Optional[Tuple[NbIotDevice, ...]]
+
     def __init__(self, devices: Sequence[NbIotDevice]) -> None:
         if not devices:
             raise FleetError("a fleet must contain at least one device")
-        imsis = [d.identity.imsi for d in devices]
-        if len(set(imsis)) != len(imsis):
-            raise FleetError("fleet contains duplicate IMSIs")
-        self._devices: Tuple[NbIotDevice, ...] = tuple(devices)
-        self._phases = np.array(
-            [d.pattern.phase for d in self._devices], dtype=np.int64
-        )
-        self._periods = np.array(
-            [int(d.cycle) for d in self._devices], dtype=np.int64
-        )
-        self._rates = np.array(
-            [PROFILES[d.coverage].downlink_bps for d in self._devices],
-            dtype=np.float64,
-        )
-        self._coverage_codes = np.array(
-            [_COVERAGE_CODE[d.coverage] for d in self._devices], dtype=np.int64
-        )
-        self._ue_ids = np.array(
-            [d.drx.ue_id for d in self._devices], dtype=np.int64
-        )
-        nb_fractions = [d.drx.nb.fraction for d in self._devices]
-        self._nb_numerators = np.array(
-            [f.numerator for f in nb_fractions], dtype=np.int64
-        )
-        self._nb_denominators = np.array(
-            [f.denominator for f in nb_fractions], dtype=np.int64
-        )
+        arrays = FleetArrays.from_devices(devices)
+        arrays.validate_unique_imsis()
+        self._arrays = arrays
+        self._devices_cache = tuple(devices)
+
+    @classmethod
+    def from_arrays(cls, arrays: FleetArrays) -> "Fleet":
+        """Wrap a columnar fleet without materialising any devices."""
+        arrays.validate_unique_imsis()
+        fleet = object.__new__(cls)
+        fleet._arrays = arrays
+        fleet._devices_cache = None
+        return fleet
+
+    @property
+    def arrays(self) -> FleetArrays:
+        """The canonical struct-of-arrays behind this fleet (read-only)."""
+        return self._arrays
 
     # ------------------------------------------------------------------
     # Collection protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._devices)
+        return self._arrays.n
 
     def __iter__(self) -> Iterator[NbIotDevice]:
-        return iter(self._devices)
+        if self._devices_cache is not None:
+            return iter(self._devices_cache)
+        return (self._arrays.device_at(i) for i in range(len(self)))
 
     def __getitem__(self, index: int) -> NbIotDevice:
-        return self._devices[index]
+        if self._devices_cache is not None:
+            return self._devices_cache[index]
+        n = len(self)
+        i = int(index)
+        if i < 0:
+            i += n
+        if not 0 <= i < n:
+            raise IndexError("fleet index out of range")
+        return self._arrays.device_at(i)
 
     @property
     def devices(self) -> Tuple[NbIotDevice, ...]:
-        """The devices in fleet order."""
-        return self._devices
+        """The devices in fleet order (materialised and cached on demand)."""
+        if self._devices_cache is None:
+            self._devices_cache = tuple(
+                self._arrays.device_at(i) for i in range(len(self))
+            )
+        return self._devices_cache
+
+    # ------------------------------------------------------------------
+    # Pickling: arrays only — device views rebuild lazily on the far side
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> FleetArrays:
+        return self._arrays
+
+    def __setstate__(self, state: FleetArrays) -> None:
+        self._arrays = state
+        self._devices_cache = None
 
     # ------------------------------------------------------------------
     # Columnar views (preferred-cycle paging schedules)
@@ -81,37 +106,37 @@ class Fleet:
     @property
     def phases(self) -> np.ndarray:
         """Per-device PO phase (frames), under the preferred cycle."""
-        return self._phases.copy()
+        return self._arrays.phases.copy()
 
     @property
     def periods(self) -> np.ndarray:
         """Per-device PO period (frames), under the preferred cycle."""
-        return self._periods.copy()
+        return self._arrays.periods.copy()
 
     @property
     def downlink_rates_bps(self) -> np.ndarray:
         """Per-device sustained downlink rate."""
-        return self._rates.copy()
+        return self._arrays.downlink_bps.copy()
 
     @property
     def coverage_codes(self) -> np.ndarray:
         """Per-device coverage class as an index into :data:`COVERAGE_ORDER`."""
-        return self._coverage_codes.copy()
+        return self._arrays.coverage_codes.copy()
 
     @property
     def ue_ids(self) -> np.ndarray:
         """Per-device paging identity (IMSI mod 4096)."""
-        return self._ue_ids.copy()
+        return self._arrays.ue_ids.copy()
 
     @property
     def nb_numerators(self) -> np.ndarray:
         """Numerator of each device's cell ``nB`` fraction (nB = num/den · T)."""
-        return self._nb_numerators.copy()
+        return self._arrays.nb_numerators.copy()
 
     @property
     def nb_denominators(self) -> np.ndarray:
         """Denominator of each device's cell ``nB`` fraction."""
-        return self._nb_denominators.copy()
+        return self._arrays.nb_denominators.copy()
 
     # ------------------------------------------------------------------
     # Aggregates
@@ -119,21 +144,26 @@ class Fleet:
     @property
     def max_cycle(self) -> DrxCycle:
         """The longest preferred cycle in the fleet (the paper's maxDRX)."""
-        return DrxCycle(int(self._periods.max()))
+        return DrxCycle(int(self._arrays.periods.max()))
 
     @property
     def min_cycle(self) -> DrxCycle:
         """The shortest preferred cycle in the fleet."""
-        return DrxCycle(int(self._periods.min()))
+        return DrxCycle(int(self._arrays.periods.min()))
 
     @property
     def coverages(self) -> List[CoverageClass]:
         """Coverage class of every device, in fleet order."""
-        return [d.coverage for d in self._devices]
+        return [
+            COVERAGE_ORDER[code]
+            for code in self._arrays.coverage_codes.tolist()
+        ]
 
     def coverage_histogram(self) -> Dict[CoverageClass, int]:
         """Device count per coverage class (every class present as a key)."""
-        counts = np.bincount(self._coverage_codes, minlength=len(COVERAGE_ORDER))
+        counts = np.bincount(
+            self._arrays.coverage_codes, minlength=len(COVERAGE_ORDER)
+        )
         return {
             coverage: int(counts[code])
             for code, coverage in enumerate(COVERAGE_ORDER)
@@ -148,16 +178,16 @@ class Fleet:
         if len(indices) == 0:
             raise FleetError("cannot size a bearer for an empty group")
         idx = self._validated_indices(indices)
-        return float(self._rates[idx].min())
+        return float(self._arrays.downlink_bps[idx].min())
 
     def subset(self, indices: Sequence[int]) -> "Fleet":
         """A new fleet containing only the devices at ``indices``.
 
-        The columnar views are sliced from the parent's precomputed
-        arrays instead of being rebuilt from the device objects, so
-        carving a large fleet into many sub-fleets (the multi-cell
-        partitioner's inner loop) is a handful of fancy-indexing
-        operations per cell rather than a full per-device rebuild.
+        The subset is an index-slice over the parent's columns — a
+        handful of fancy-indexing operations per cell in the multi-cell
+        partitioner's inner loop, never a per-device rebuild. When the
+        parent has materialised device objects the subset inherits the
+        identical instances; otherwise it stays fully columnar.
         """
         idx = self._validated_indices(indices)
         if idx.size == 0:
@@ -167,19 +197,17 @@ class Fleet:
             # the full constructor enforces.
             raise FleetError("fleet contains duplicate IMSIs")
         fleet = object.__new__(Fleet)
-        if idx.size == 1:
-            fleet._devices = (self._devices[idx[0]],)
+        fleet._arrays = self._arrays.take(idx)
+        if self._devices_cache is None:
+            fleet._devices_cache = None
+        elif idx.size == 1:
+            fleet._devices_cache = (self._devices_cache[idx[0]],)
         else:
             from operator import itemgetter
 
-            fleet._devices = itemgetter(*idx.tolist())(self._devices)
-        fleet._phases = self._phases[idx]
-        fleet._periods = self._periods[idx]
-        fleet._rates = self._rates[idx]
-        fleet._coverage_codes = self._coverage_codes[idx]
-        fleet._ue_ids = self._ue_ids[idx]
-        fleet._nb_numerators = self._nb_numerators[idx]
-        fleet._nb_denominators = self._nb_denominators[idx]
+            fleet._devices_cache = itemgetter(*idx.tolist())(
+                self._devices_cache
+            )
         return fleet
 
     def _validated_indices(self, indices: Sequence[int]) -> np.ndarray:
@@ -191,5 +219,8 @@ class Fleet:
         return idx
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        cycles = sorted({d.cycle.seconds for d in self._devices})
+        cycles = sorted(
+            DrxCycle(int(p)).seconds
+            for p in np.unique(self._arrays.periods).tolist()
+        )
         return f"Fleet(n={len(self)}, cycles={cycles})"

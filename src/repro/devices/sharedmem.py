@@ -1,0 +1,258 @@
+"""Zero-copy fleets over POSIX shared memory.
+
+A :class:`SharedFleet` publishes a :class:`FleetArrays` (plus optional
+same-length int64 *extra* columns, e.g. the device→cell attachment map)
+into one ``multiprocessing.shared_memory`` segment. Workers receive a
+:class:`SharedFleetDescriptor` — a ~100-byte picklable handle — and
+attach to the same physical pages instead of unpickling a fleet copy,
+so every worker of a 10^6-device run maps the *same* ~100 MB once.
+
+Ownership / lifecycle contract (see docs/architecture.md "Memory
+model"):
+
+* the **creator** owns the segment name: it alone calls
+  :meth:`SharedFleet.unlink` (normally delegated to the run's terminal
+  reduction task), which removes both the name and its resource-tracker
+  registration;
+* **workers** attach and close — close unmaps this process's view and
+  never touches the name;
+* the processes of one campaign share **one** resource tracker: both
+  :meth:`create` and :meth:`attach` call ``ensure_running()`` so the
+  tracker exists before any pool forks (fork children inherit it), and
+  the fused scheduler does the same before spawning its pool. Python
+  < 3.13 registers segments on attach as well as create (bpo-39959),
+  but against a single shared tracker those registrations are
+  idempotent set entries — exactly one per name — so the one
+  ``unlink()`` clears them, and an abnormal exit (SIGTERM mid-run)
+  leaves the tracker to reclaim whatever was still registered;
+* attaching to a name whose segment is already gone raises
+  :class:`~repro.errors.SimulationError` carrying the caller's context
+  (e.g. the fused task address), never a raw ``FileNotFoundError``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import resource_tracker, shared_memory
+from secrets import token_hex
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.devices.arrays import COLUMN_SCHEMA, FleetArrays
+from repro.errors import SimulationError
+
+#: Shared fleet segments are named ``repro_fleet_<hex>`` so the CI shm
+#: hygiene check (and a human at /dev/shm) can attribute leaks.
+SEGMENT_PREFIX = "repro_fleet_"
+
+
+@dataclass(frozen=True)
+class SharedFleetDescriptor:
+    """The picklable handle workers attach with.
+
+    Pickles to ~100 bytes regardless of fleet size — this is what rides
+    in every fused work item's payload instead of the fleet itself.
+    """
+
+    name: str
+    n_devices: int
+    extras: Tuple[str, ...] = ()
+
+    @property
+    def nbytes(self) -> int:
+        """Total segment payload size implied by the descriptor."""
+        return self.n_devices * 8 * (len(COLUMN_SCHEMA) + len(self.extras))
+
+
+def _column_views(
+    buf: memoryview, descriptor: SharedFleetDescriptor
+) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
+    """Map the fixed layout: schema columns, then extras, 8 bytes/row."""
+    n = descriptor.n_devices
+    offset = 0
+    columns: Dict[str, np.ndarray] = {}
+    for name, dtype in COLUMN_SCHEMA:
+        columns[name] = np.ndarray((n,), dtype=dtype, buffer=buf, offset=offset)
+        offset += n * 8
+    extras: Dict[str, np.ndarray] = {}
+    for name in descriptor.extras:
+        view = np.ndarray((n,), dtype=np.int64, buffer=buf, offset=offset)
+        view.flags.writeable = False
+        extras[name] = view
+        offset += n * 8
+    return columns, extras
+
+
+class SharedFleet:
+    """A fleet whose columns live in one shared-memory segment."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        descriptor: SharedFleetDescriptor,
+        *,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self._descriptor = descriptor
+        self._owner = owner
+        self._closed = False
+        columns, extras = _column_views(shm.buf, descriptor)
+        self._arrays = FleetArrays(**columns)
+        self._extras = extras
+        # Close-only finalizer: dropping the last reference unmaps the
+        # pages in this process but never touches the segment name —
+        # only an explicit unlink() (or the creator's resource-tracker
+        # registration, on abnormal exit) removes it.
+        self._finalizer = weakref.finalize(self, _close_segment, shm)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        arrays: FleetArrays,
+        extras: Optional[Mapping[str, np.ndarray]] = None,
+    ) -> "SharedFleet":
+        """Publish ``arrays`` (and int64 ``extras`` columns) to a new segment."""
+        resource_tracker.ensure_running()
+        extras = dict(extras or {})
+        for name, column in extras.items():
+            column = np.ascontiguousarray(column, dtype=np.int64)
+            if column.shape != (arrays.n,):
+                raise SimulationError(
+                    f"shared-fleet extra {name!r} has shape {column.shape}, "
+                    f"expected ({arrays.n},)"
+                )
+            extras[name] = column
+        descriptor = SharedFleetDescriptor(
+            name=f"{SEGMENT_PREFIX}{token_hex(8)}",
+            n_devices=arrays.n,
+            extras=tuple(extras),
+        )
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, descriptor.nbytes), name=descriptor.name
+        )
+        columns, extra_views = _column_views(shm.buf, descriptor)
+        for name, _ in COLUMN_SCHEMA:
+            dest = columns[name]
+            dest.flags.writeable = True
+            np.copyto(dest, getattr(arrays, name))
+        for name, view in extra_views.items():
+            view.flags.writeable = True
+            np.copyto(view, extras[name])
+            view.flags.writeable = False
+        return cls(shm, descriptor, owner=True)
+
+    @classmethod
+    def attach(
+        cls, descriptor: SharedFleetDescriptor, *, context: str = ""
+    ) -> "SharedFleet":
+        """Map an existing segment read-only (zero-copy).
+
+        Raises :class:`SimulationError` — with ``context`` (typically
+        the fused task address) in the message — when the segment has
+        already been unlinked.
+        """
+        resource_tracker.ensure_running()
+        try:
+            shm = shared_memory.SharedMemory(name=descriptor.name)
+        except (FileNotFoundError, OSError) as exc:
+            where = f" while running {context}" if context else ""
+            raise SimulationError(
+                f"shared fleet segment {descriptor.name!r} is gone"
+                f"{where}: it was unlinked before this task attached "
+                f"(creator reduced early or crashed?)"
+            ) from exc
+        # Python < 3.13 registers the segment with the resource tracker
+        # on attach as well as on create (bpo-39959). All campaign
+        # processes share one tracker (ensure_running precedes every
+        # pool fork), so these registrations collapse into a single set
+        # entry that the eventual unlink() removes — no per-process
+        # unregister dance, no premature cleanup.
+        return cls(shm, descriptor, owner=False)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    @property
+    def descriptor(self) -> SharedFleetDescriptor:
+        return self._descriptor
+
+    @property
+    def arrays(self) -> FleetArrays:
+        """The fleet columns as zero-copy views over the segment."""
+        return self._arrays
+
+    def extra(self, name: str) -> np.ndarray:
+        """A read-only view of the named extra column."""
+        return self._extras[name]
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unmap the segment from this process (keeps the name alive).
+
+        Any live array views into the buffer keep the mapping pinned; in
+        that case the unmap is deferred to process exit rather than
+        raising into the caller.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        self._arrays = None  # type: ignore[assignment]
+        self._extras = {}
+        _close_segment(self._shm)
+
+    def unlink(self) -> None:
+        """Remove the segment name (creator only; idempotent)."""
+        if not self._owner:
+            raise SimulationError(
+                f"only the creator may unlink shared fleet "
+                f"{self._descriptor.name!r}"
+            )
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SharedFleet(name={self._descriptor.name!r}, "
+            f"n={self._descriptor.n_devices}, owner={self._owner})"
+        )
+
+
+def _close_segment(shm: shared_memory.SharedMemory) -> None:
+    try:
+        shm.close()
+    except BufferError:  # pragma: no cover - views still pinned
+        pass
+
+
+def unlink_descriptor(descriptor: SharedFleetDescriptor) -> None:
+    """Best-effort removal of a segment by descriptor (cleanup paths).
+
+    ``SharedMemory.unlink`` unregisters the name from the (shared)
+    resource tracker itself, so this is the single point where the
+    create/attach registrations are retired.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor.name)
+    except (FileNotFoundError, OSError):
+        return
+    try:
+        shm.unlink()
+    except FileNotFoundError:  # pragma: no cover - lost the unlink race
+        pass
+    finally:
+        _close_segment(shm)

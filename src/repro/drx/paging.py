@@ -204,3 +204,56 @@ def pattern_for(
         cycle=cycle,
         subframe=paging_subframe(ue_id, cycle, nb),
     )
+
+
+# ----------------------------------------------------------------------
+# Vectorised fleet-wide derivations (columnar fleet construction)
+# ----------------------------------------------------------------------
+def v_default_hashed_id(ue_ids: "np.ndarray") -> "np.ndarray":
+    """Vectorised :func:`default_hashed_id` (bit-identical per element)."""
+    import numpy as np
+
+    ue = np.asarray(ue_ids, dtype=np.int64)
+    if ue.size and (ue.min() < 0 or ue.max() >= UE_ID_SPACE):
+        raise PagingError(f"UE_ID must be in [0, {UE_ID_SPACE})")
+    mixed = (ue * 2654435761) & 0xFFFFFFFF
+    return (mixed >> 22) & (HASHED_ID_SPACE - 1)
+
+
+def v_paging_frame_offset(
+    ue_ids: "np.ndarray", cycles: "np.ndarray", nb: NB = NB.ONE_T
+) -> "np.ndarray":
+    """Vectorised :func:`paging_frame_offset` over parallel columns.
+
+    ``cycles`` holds per-device cycle lengths in frames (ladder values).
+    Integer-exact mirror of the scalar derivation — including the
+    two-level eDRX rule — so a fleet's phase column can be built without
+    instantiating a single device object.
+    """
+    import numpy as np
+
+    ue = np.asarray(ue_ids, dtype=np.int64)
+    t = np.asarray(cycles, dtype=np.int64)
+    if ue.shape != t.shape:
+        raise PagingError(
+            f"ue_ids and cycles disagree: {ue.shape} vs {t.shape}"
+        )
+    if ue.size and (ue.min() < 0 or ue.max() >= UE_ID_SPACE):
+        raise PagingError(f"UE_ID must be in [0, {UE_ID_SPACE})")
+    pf_cycle = np.minimum(t, FRAMES_PER_HYPERFRAME)
+    nb_scaled = pf_cycle * nb.fraction.numerator
+    if nb_scaled.size and np.any(nb_scaled % nb.fraction.denominator):
+        raise PagingError(
+            f"nB={nb.name} of some cycle in the fleet is not an integer"
+        )
+    nb_int = nb_scaled // nb.fraction.denominator
+    n = np.minimum(pf_cycle, nb_int)
+    if n.size and n.min() < 1:
+        raise PagingError(f"nB={nb.name} yields N < 1 for some cycle")
+    pf_offset = (pf_cycle // n) * (ue % n)
+    is_edrx = t > FRAMES_PER_HYPERFRAME
+    cycle_hyperframes = np.maximum(1, t // FRAMES_PER_HYPERFRAME)
+    ph_index = v_default_hashed_id(ue) % cycle_hyperframes
+    return np.where(
+        is_edrx, ph_index * FRAMES_PER_HYPERFRAME + pf_offset, pf_offset
+    )

@@ -39,6 +39,7 @@ from repro.core.plan import (
     WakeMethod,
     revise_plan,
 )
+from repro.devices.arrays import FleetArrays
 from repro.devices.device import NbIotDevice
 from repro.devices.fleet import Fleet
 from repro.enb.enb import ENodeB
@@ -199,8 +200,16 @@ class OnDemandMulticastService:
             if index in pending.left:
                 raise PlanError(f"device {index} already left the campaign")
         if joined_devices:
-            working = Fleet(
-                list(pending.fleet.devices) + list(joined_devices)
+            # Columnar append: concatenate the joiners' rows onto the
+            # working fleet's arrays instead of rebuilding the whole
+            # device list (the working fleet may be large and lazy).
+            working = Fleet.from_arrays(
+                FleetArrays.concatenate(
+                    [
+                        pending.fleet.arrays,
+                        FleetArrays.from_devices(tuple(joined_devices)),
+                    ]
+                )
             )
         else:
             working = pending.fleet
@@ -286,7 +295,7 @@ def _strip_left(
         return fleet, plan
     keep = [i for i in range(len(fleet)) if i not in left]
     remap: Dict[int, int] = {old: new for new, old in enumerate(keep)}
-    final_fleet = Fleet([fleet[i] for i in keep])
+    final_fleet = fleet.subset(keep)
     transmissions = tuple(
         Transmission(
             index=t.index,

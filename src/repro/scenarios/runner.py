@@ -11,15 +11,18 @@ unchanged, and all backends produce bit-identical metric arrays.
 
 The ``fused`` backend decomposes each multi-cell run into work-queue
 tasks (:mod:`repro.sim.dispatch`): a *prologue* task generates the
-fleet, partitions it and draws the rollout seed — exactly the draws the
-serial run makes, in the same order — then fans out one task per cell
-(addressed ``(fingerprint, run, cell)``, seeded by the rollout seed's
-child for that cell) and a *reduction* that replays the run generator's
-post-prologue state through the repair rounds and folds the per-cell
-summaries into the run's metric dict. Cell tasks re-materialise the
-run's fleet from the task address through a small per-worker cache, so
-large fleets are built once per worker instead of being pickled per
-task.
+fleet, draws the cell attachments and the rollout seed — exactly the
+draws the serial run makes, in the same order — publishes the fleet's
+columns (plus the attachment map) into one shared-memory segment
+(:class:`~repro.devices.sharedmem.SharedFleet`), then fans out one task
+per cell (addressed ``(fingerprint, run, cell)``, seeded by the rollout
+seed's child for that cell) and a *reduction* that replays the run
+generator's post-prologue state through the repair rounds, folds the
+per-cell summaries into the run's metric dict and unlinks the segment.
+Cell tasks carry only the ~100-byte segment descriptor: each worker
+attaches to the one physical fleet mapping (through a small per-worker
+LRU of attachments) and slices its cell out by index — no fleet is ever
+pickled or regenerated per task.
 """
 
 from __future__ import annotations
@@ -33,17 +36,27 @@ from typing import Any, Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from repro.devices.fleet import Fleet
+from repro.devices.sharedmem import (
+    SharedFleet,
+    SharedFleetDescriptor,
+    unlink_descriptor,
+)
 from repro.errors import ConfigurationError
 from repro.experiments.reporting import Table
-from repro.multicast.coordination import CoordinationEntity, partition_fleet
+from repro.multicast.coordination import (
+    CoordinationEntity,
+    MultiCellSpec,
+    attach_devices,
+    partition_fleet,
+)
 from repro.multicast.reliability import simulate_repair_rounds
 from repro.phy.coverage import CoverageClass
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.dispatch import (
     FanOut,
+    PartialFn,
     TaskAddress,
     WorkItem,
-    derive_task_rng,
     execute_items,
 )
 from repro.sim.eventlog import (
@@ -235,75 +248,58 @@ def scenario_run(
 
 
 # ----------------------------------------------------------------------
-# Fused (run x cell) decomposition
+# Fused (run x cell) decomposition — zero-copy over shared memory
 # ----------------------------------------------------------------------
-@dataclass
-class _RunMaterial:
-    """Everything a run's prologue derives from its child generator.
+#: Per-worker LRU of shared-fleet attachments keyed by segment name. A
+#: worker draining several cells of the same run maps the segment once;
+#: eviction closes (unmaps) — never unlinks — the evicted mapping.
+_ATTACH_CACHE: "OrderedDict[str, SharedFleet]" = OrderedDict()
+_ATTACH_CACHE_MAX = 4
 
-    ``rng_state`` is the run generator's bit-generator state *after*
-    the prologue draws (fleet sampling, cell attachment, rollout seed)
-    — the reduction restores it so the repair rounds consume the exact
-    draws the serial run would.
-    """
-
-    fleet: Fleet
-    cells: Dict[int, Fleet]
-    rollout_seed: int
-    rng_state: Dict[str, Any]
-    histogram: Dict[CoverageClass, int]
+#: Per-worker counters: how often the zero-copy path attached, hit the
+#: cache, or evicted. The attach-count regression tests read these to
+#: prove the descriptor path never silently falls back to pickling.
+_ATTACH_STATS = {"attaches": 0, "hits": 0, "evictions": 0}
 
 
-#: Per-worker memo of run materials keyed by (fingerprint, seed, run).
-#: A worker executing several cells of the same run materialises the
-#: fleet once and slices it per cell, instead of the fleet being
-#: pickled into every cell task. Small and LRU-bounded: a worker only
-#: ever needs the few runs whose cells it is currently draining.
-_MATERIAL_CACHE: "OrderedDict[Tuple[str, int, int], _RunMaterial]" = (
-    OrderedDict()
-)
-_MATERIAL_CACHE_MAX = 4
+def _reset_attach_cache() -> None:
+    """Close every cached mapping and zero the stats (test helper)."""
+    while _ATTACH_CACHE:
+        _, shared = _ATTACH_CACHE.popitem(last=False)
+        shared.close()
+    for key in _ATTACH_STATS:
+        _ATTACH_STATS[key] = 0
 
 
-def _run_material(
-    spec: ScenarioSpec, fingerprint: str, root_seed: int, run_index: int
-) -> _RunMaterial:
-    """Materialise (or fetch) one run's fleet, cells and rollout seed.
+def _attached_fleet(
+    descriptor: SharedFleetDescriptor, context: str = ""
+) -> SharedFleet:
+    """Fetch (or create) this worker's mapping of a shared fleet."""
+    shared = _ATTACH_CACHE.get(descriptor.name)
+    if shared is not None:
+        _ATTACH_CACHE.move_to_end(descriptor.name)
+        _ATTACH_STATS["hits"] += 1
+        return shared
+    shared = SharedFleet.attach(descriptor, context=context)
+    _ATTACH_STATS["attaches"] += 1
+    _ATTACH_CACHE[descriptor.name] = shared
+    while len(_ATTACH_CACHE) > _ATTACH_CACHE_MAX:
+        _, evicted = _ATTACH_CACHE.popitem(last=False)
+        evicted.close()
+        _ATTACH_STATS["evictions"] += 1
+    return shared
 
-    Pure function of the task address ``(fingerprint, run_index)`` plus
-    the campaign's root seed: the run generator is re-derived as the
-    standard ``SeedSequence`` child and consumed exactly as the serial
-    run consumes it, so every worker that needs this run's material
-    reconstructs bit-identical fleets and draws.
-    """
-    key = (fingerprint, int(root_seed), int(run_index))
-    material = _MATERIAL_CACHE.get(key)
-    if material is not None:
-        _MATERIAL_CACHE.move_to_end(key)
-        return material
-    rng = derive_task_rng(root_seed, run_index)
-    fleet = generate_fleet(
-        spec.n_devices,
-        spec.mixture_obj(),
-        rng,
-        coverage_mix=spec.coverage,
-        battery=spec.battery(),
-    )
-    cells = partition_fleet(
-        fleet, spec.cells.n_cells, rng, weights=spec.cells.weights
-    )
-    rollout_seed = int(rng.integers(0, 2**32))
-    material = _RunMaterial(
-        fleet=fleet,
-        cells=cells,
-        rollout_seed=rollout_seed,
-        rng_state=rng.bit_generator.state,
-        histogram=fleet.coverage_histogram(),
-    )
-    _MATERIAL_CACHE[key] = material
-    while len(_MATERIAL_CACHE) > _MATERIAL_CACHE_MAX:
-        _MATERIAL_CACHE.popitem(last=False)
-    return material
+
+def _worker_rss_kb() -> int:
+    """This process's peak resident set (VmHWM, kB); 0 off-Linux."""
+    try:
+        with open("/proc/self/status") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1])
+    except OSError:
+        pass
+    return 0
 
 
 @dataclass(frozen=True)
@@ -317,13 +313,17 @@ class _FusedRunPayload:
 
 @dataclass(frozen=True)
 class _FusedCellPayload:
-    """What a fused cell task needs to re-materialise its sub-fleet."""
+    """What a fused cell task needs: a ~100-byte segment descriptor.
+
+    The descriptor names the run's shared fleet; the cell's sub-fleet is
+    ``flatnonzero(attachments == cell_id)`` over the shared columns, so
+    the payload stays constant-size no matter how large the fleet is.
+    """
 
     spec: ScenarioSpec
-    root_seed: int
-    run_index: int
     columnar: bool
     cell_id: int
+    descriptor: SharedFleetDescriptor
 
 
 @dataclass(frozen=True)
@@ -333,6 +333,7 @@ class _FusedReduceState:
     spec: ScenarioSpec
     rng_state: Dict[str, Any]
     histogram: Dict[CoverageClass, int]
+    descriptor: Optional[SharedFleetDescriptor] = None
 
 
 @dataclass(frozen=True)
@@ -342,6 +343,9 @@ class _CellSummary:
     Every field is computed in the cell worker from the full per-cell
     campaign — shipping these instead of the campaign itself keeps the
     fused queue's IPC per task constant-size regardless of fleet size.
+    ``worker_rss_kb`` reports the executing worker's peak RSS so the
+    benchmarks can assert the zero-copy memory ceiling from streamed
+    partials alone.
     """
 
     cell_id: int
@@ -352,6 +356,7 @@ class _CellSummary:
     light_sleep_s: float
     connected_s: float
     energy_mj: float
+    worker_rss_kb: int = 0
 
 
 def _fused_cell_task(
@@ -361,12 +366,18 @@ def _fused_cell_task(
 
     ``rng`` is the dispatcher-derived child of the run's rollout seed
     at this cell's position — the same generator
-    ``CoordinationEntity.rollout(seed=...)`` hands the cell.
+    ``CoordinationEntity.rollout(seed=...)`` hands the cell. The cell's
+    sub-fleet is sliced out of the run's shared-memory fleet: the
+    attachment column's stable argsort groups each cell's indices in
+    ascending device order, which is exactly ``flatnonzero`` of the
+    equality mask, so the sub-fleet is device-for-device identical to
+    ``partition_fleet``'s.
     """
-    material = _run_material(
-        payload.spec, address.campaign, payload.root_seed, payload.run_index
+    shared = _attached_fleet(payload.descriptor, context=str(address))
+    indices = np.flatnonzero(
+        shared.extra("attachments") == payload.cell_id
     )
-    fleet = material.cells[payload.cell_id]
+    fleet = Fleet.from_arrays(shared.arrays.take(indices))
     spec = payload.spec
     mechanism = spec.mechanism_obj()
     plan = mechanism.plan(fleet, spec.planning_context(), rng)
@@ -384,6 +395,7 @@ def _fused_cell_task(
         light_sleep_s=result.fleet.light_sleep_s,
         connected_s=result.fleet.connected_s,
         energy_mj=result.fleet.energy_mj,
+        worker_rss_kb=_worker_rss_kb(),
     )
 
 
@@ -398,7 +410,21 @@ def _fused_run_reduce(
     repair rounds per cell in ascending cell order — the identical
     stream position the serial :func:`_multi_cell_run` reaches after
     its rollout, so every metric is bit-identical to the serial run.
+
+    As the last consumer of the run's shared fleet, the reduction also
+    unlinks the segment (creator-side ownership delegated to the run's
+    terminal task); worker mappings close as their LRU entries evict.
     """
+    try:
+        return _fused_run_fold(state, results)
+    finally:
+        if state.descriptor is not None:
+            unlink_descriptor(state.descriptor)
+
+
+def _fused_run_fold(
+    state: _FusedReduceState, results: List[_CellSummary]
+) -> Dict[str, float]:
     spec = state.spec
     rng = np.random.default_rng()
     rng.bit_generator.state = state.rng_state
@@ -458,9 +484,26 @@ def _fused_run_task(
             rng, address.run_index, spec, columnar=payload.columnar
         )
         return {k: float(v) for k, v in metrics.items()}
-    material = _run_material(
-        spec, address.campaign, payload.root_seed, address.run_index
+    # Prologue: the run generator's draws, in the serial run's exact
+    # order — fleet sampling, cell attachment, rollout seed.
+    fleet = generate_fleet(
+        spec.n_devices,
+        spec.mixture_obj(),
+        rng,
+        coverage_mix=spec.coverage,
+        battery=spec.battery(),
     )
+    attachments = attach_devices(
+        len(fleet),
+        MultiCellSpec(n_cells=spec.cells.n_cells, weights=spec.cells.weights),
+        rng,
+    )
+    rollout_seed = int(rng.integers(0, 2**32))
+    shared = SharedFleet.create(
+        fleet.arrays,
+        extras={"attachments": np.asarray(attachments, dtype=np.int64)},
+    )
+    cell_ids = np.unique(attachments).tolist()
     items = tuple(
         WorkItem(
             address=TaskAddress(
@@ -469,23 +512,23 @@ def _fused_run_task(
             fn=_fused_cell_task,
             payload=_FusedCellPayload(
                 spec=spec,
-                root_seed=payload.root_seed,
-                run_index=address.run_index,
                 columnar=payload.columnar,
                 cell_id=cell_id,
+                descriptor=shared.descriptor,
             ),
-            seed=material.rollout_seed,
+            seed=rollout_seed,
             spawn_index=position,
         )
-        for position, cell_id in enumerate(sorted(material.cells))
+        for position, cell_id in enumerate(cell_ids)
     )
     return FanOut(
         items=items,
         reduce_fn=_fused_run_reduce,
         state=_FusedReduceState(
             spec=spec,
-            rng_state=material.rng_state,
-            histogram=material.histogram,
+            rng_state=rng.bit_generator.state,
+            histogram=fleet.coverage_histogram(),
+            descriptor=shared.descriptor,
         ),
     )
 
@@ -522,12 +565,14 @@ def _fused_scenario_stats(
     workers: Optional[int],
     columnar: bool,
     cache: Optional[ResultCache],
+    on_partial: Optional[PartialFn] = None,
 ) -> Dict[str, RunStatistics]:
     """Run one scenario through the fused scheduler (cache-aware).
 
     Mirrors :meth:`MonteCarlo.run`'s cache protocol exactly — same key,
     same stored columns — so serial, process and fused executions of
-    the same campaign share cache entries interchangeably.
+    the same campaign share cache entries interchangeably. A cache hit
+    streams no partials (nothing executes).
     """
     key = None
     if cache is not None:
@@ -543,6 +588,7 @@ def _fused_scenario_stats(
     per_run = execute_items(
         scenario_work_items(spec, root_seed, n_runs, columnar=columnar),
         workers=workers,
+        on_partial=on_partial,
     )
     collected = collect_metric_columns(per_run)
     if key is not None:
@@ -573,6 +619,7 @@ def run_scenario(
     columnar: bool = True,
     cache: Optional[ResultCache] = None,
     record_dir: Optional[Union[str, Path]] = None,
+    on_partial: Optional[PartialFn] = None,
 ) -> Dict[str, RunStatistics]:
     """Run ``spec`` through the Monte-Carlo harness and aggregate.
 
@@ -588,9 +635,17 @@ def run_scenario(
     metrics are bit-identical with and without it — but it requires the
     serial backend (logs cannot cross a process pool through a shared
     list) and an uncached harness (a cache hit skips the run function,
-    so nothing would be recorded).
+    so nothing would be recorded). ``on_partial`` streams
+    :class:`~repro.sim.dispatch.PartialResult` records (per-cell
+    summaries, per-run folds) back as they complete — fused backend
+    only, since only the work queue surfaces incremental completions.
     """
     root_seed = spec.seed if seed is None else seed
+    if on_partial is not None and backend != "fused":
+        raise ConfigurationError(
+            f"streaming partial results requires backend='fused', "
+            f"got {backend!r}"
+        )
     recording: Optional[List[RunLog]] = None
     if record_dir is not None:
         if backend != "serial":
@@ -611,6 +666,7 @@ def run_scenario(
             workers,
             columnar,
             cache,
+            on_partial=on_partial,
         )
     harness = MonteCarlo(
         n_runs=spec.n_runs if n_runs is None else n_runs,

@@ -182,7 +182,7 @@ def execute_columnar(
         ra_attempts = np.empty(n, dtype=np.float64)
         episode = np.zeros(n, dtype=np.float64)
         for i, d in enumerate(directives):
-            coverage = fleet[d.device_index].coverage
+            coverage = COVERAGE_ORDER[int(coverage_codes[i])]
             if d.method is WakeMethod.DRX_ADAPTATION:
                 episode[i] = timings.adaptation_episode_s(coverage, rng)
             outcome = timings.random_access.perform(coverage, rng)

@@ -39,8 +39,18 @@ from __future__ import annotations
 
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from multiprocessing import resource_tracker
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -118,6 +128,29 @@ class FanOut:
     state: Any
 
 
+def _validate_picklable(items: Sequence[WorkItem]) -> None:
+    """Reject unpicklable task functions before any pool submission.
+
+    Deduplicated by function identity: a 10^4-item sweep reusing one
+    module-level task fn pays for a single ``pickle.dumps``, not one per
+    item.
+    """
+    seen: set = set()
+    for item in items:
+        key = id(item.fn)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            pickle.dumps(item.fn)
+        except Exception as exc:
+            raise ConfigurationError(
+                "fused dispatch requires picklable task functions "
+                "(module-level function or functools.partial of "
+                f"one); got {item.fn!r}: {exc}"
+            ) from exc
+
+
 def _execute_item(item: WorkItem) -> Any:
     """Worker entry point: derive the task generator and run the task."""
     rng = derive_task_rng(item.seed, item.spawn_index)
@@ -135,6 +168,34 @@ def _execute_reduce(
 
 
 _UNSET = object()
+
+
+@dataclass(frozen=True)
+class PartialResult:
+    """One completion streamed out of the ledger as it lands.
+
+    ``kind`` is ``"top"`` (a top-level task that returned a plain
+    value), ``"sub"`` (one fan-out sub-item, e.g. a single cell of a
+    multi-cell run) or ``"reduce"`` (a fan-out's folded result filling
+    its top-level slot). ``position`` is the sub-item's canonical
+    position within its fan-out (None otherwise); ``address`` is the
+    completing task's deterministic address when the scheduler knows it.
+
+    Streaming is observational only: the canonical outputs still come
+    from :meth:`ReductionLedger.results` in submission order, so
+    consuming partials can never perturb determinism.
+    """
+
+    kind: str
+    top_index: int
+    value: Any
+    position: Optional[int] = None
+    address: Optional[TaskAddress] = None
+
+
+#: Callback invoked (in the scheduling process) for each streamed
+#: :class:`PartialResult`, in completion order.
+PartialFn = Callable[[PartialResult], None]
 
 
 @dataclass
@@ -176,8 +237,22 @@ class ReductionLedger:
             raise ConfigurationError(f"need >= 1 top-level task, got {n_top}")
         self._top: List[Any] = [_UNSET] * n_top
         self._groups: Dict[int, _Group] = {}
+        self._stream: List[PartialResult] = []
 
-    def complete_top(self, index: int, value: Any) -> Optional[FanOut]:
+    def partial_results(self) -> Iterator[PartialResult]:
+        """Drain the completions streamed since the last drain.
+
+        Yields :class:`PartialResult` records in completion order —
+        per-cell results flow out here while sibling cells (and whole
+        other runs) are still in flight, instead of waiting for the
+        one-reduce-per-run barrier.
+        """
+        while self._stream:
+            yield self._stream.pop(0)
+
+    def complete_top(
+        self, index: int, value: Any, address: Optional[TaskAddress] = None
+    ) -> Optional[FanOut]:
         """Record a top-level completion; returns a fan-out to schedule.
 
         A plain value fills the slot; a :class:`FanOut` opens a group
@@ -204,10 +279,19 @@ class ReductionLedger:
             )
             return value
         self._top[index] = value
+        self._stream.append(
+            PartialResult(
+                kind="top", top_index=index, value=value, address=address
+            )
+        )
         return None
 
     def complete_sub(
-        self, top_index: int, position: int, value: Any
+        self,
+        top_index: int,
+        position: int,
+        value: Any,
+        address: Optional[TaskAddress] = None,
     ) -> Optional[ReadyReduce]:
         """Record one sub-item completion; returns the reduction when
         the group is complete."""
@@ -229,6 +313,15 @@ class ReductionLedger:
                 f"sub-item {top_index}/{position} completed twice"
             )
         group.results[position] = value
+        self._stream.append(
+            PartialResult(
+                kind="sub",
+                top_index=top_index,
+                value=value,
+                position=position,
+                address=address,
+            )
+        )
         group.remaining -= 1
         if group.remaining:
             return None
@@ -241,7 +334,12 @@ class ReductionLedger:
             results=list(group.results),
         )
 
-    def complete_reduce(self, top_index: int, value: Any) -> None:
+    def complete_reduce(
+        self,
+        top_index: int,
+        value: Any,
+        address: Optional[TaskAddress] = None,
+    ) -> None:
         """Record a reduction's result into its top-level slot."""
         if not 0 <= top_index < len(self._top):
             raise ConfigurationError(
@@ -256,6 +354,14 @@ class ReductionLedger:
                 "nested fan-out: a reduction may not expand"
             )
         self._top[top_index] = value
+        self._stream.append(
+            PartialResult(
+                kind="reduce",
+                top_index=top_index,
+                value=value,
+                address=address,
+            )
+        )
 
     @property
     def done(self) -> bool:
@@ -288,49 +394,70 @@ class FusedScheduler:
         """Pool size."""
         return self._workers
 
-    def run(self, items: Sequence[WorkItem]) -> List[Any]:
+    def run(
+        self,
+        items: Sequence[WorkItem],
+        on_partial: Optional[PartialFn] = None,
+    ) -> List[Any]:
         """Execute every item (and whatever it fans out into).
 
         Returns the per-item results in submission order; fan-out items
         resolve to their reduction's result. Everything — task
         functions, payloads, fan-out states, results — must be
-        picklable.
+        picklable. ``on_partial`` (if given) is called in this process
+        for every streamed :class:`PartialResult` as completions land —
+        per-cell results surface while the rest of the queue is still
+        draining.
         """
         items = list(items)
         if not items:
             raise ConfigurationError("no work items to dispatch")
-        for item in items:
-            try:
-                pickle.dumps(item.fn)
-            except Exception as exc:
-                raise ConfigurationError(
-                    "fused dispatch requires picklable task functions "
-                    "(module-level function or functools.partial of "
-                    f"one); got {item.fn!r}: {exc}"
-                ) from exc
+        _validate_picklable(items)
 
         ledger = ReductionLedger(len(items))
+
+        def drain() -> None:
+            for partial in ledger.partial_results():
+                if on_partial is not None:
+                    on_partial(partial)
+
+        # Start the resource tracker before the pool forks: every
+        # worker then inherits the same tracker, which is what makes
+        # shared-memory fleet registrations idempotent across processes
+        # (see repro.devices.sharedmem's lifecycle contract).
+        resource_tracker.ensure_running()
         with ProcessPoolExecutor(max_workers=self._workers) as pool:
             #: future -> ("top", index) | ("sub", top_index, position)
             #:        | ("reduce", top_index)
             pending: Dict[Any, Tuple] = {}
+            addresses: Dict[Tuple, TaskAddress] = {}
             for index, item in enumerate(items):
-                pending[pool.submit(_execute_item, item)] = ("top", index)
+                slot = ("top", index)
+                pending[pool.submit(_execute_item, item)] = slot
+                addresses[slot] = item.address
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     slot = pending.pop(future)
                     value = future.result()
+                    address = addresses.pop(slot, None)
                     if slot[0] == "top":
-                        fanout = ledger.complete_top(slot[1], value)
+                        fanout = ledger.complete_top(
+                            slot[1], value, address=address
+                        )
                         if fanout is not None:
                             for position, sub in enumerate(fanout.items):
-                                pending[pool.submit(_execute_item, sub)] = (
-                                    "sub", slot[1], position,
-                                )
+                                sub_slot = ("sub", slot[1], position)
+                                pending[
+                                    pool.submit(_execute_item, sub)
+                                ] = sub_slot
+                                addresses[sub_slot] = sub.address
                     elif slot[0] == "sub":
-                        ready = ledger.complete_sub(slot[1], slot[2], value)
+                        ready = ledger.complete_sub(
+                            slot[1], slot[2], value, address=address
+                        )
                         if ready is not None:
+                            reduce_slot = ("reduce", ready.top_index)
                             pending[
                                 pool.submit(
                                     _execute_reduce,
@@ -339,17 +466,24 @@ class FusedScheduler:
                                     ready.results,
                                     ready.address,
                                 )
-                            ] = ("reduce", ready.top_index)
+                            ] = reduce_slot
+                            addresses[reduce_slot] = ready.address
                     else:
-                        ledger.complete_reduce(slot[1], value)
+                        ledger.complete_reduce(
+                            slot[1], value, address=address
+                        )
+                    drain()
+        drain()
         return ledger.results()
 
 
 def execute_items(
-    items: Sequence[WorkItem], workers: Optional[int] = None
+    items: Sequence[WorkItem],
+    workers: Optional[int] = None,
+    on_partial: Optional[PartialFn] = None,
 ) -> List[Any]:
     """One-call front: dispatch ``items`` through a fused scheduler."""
-    return FusedScheduler(workers=workers).run(items)
+    return FusedScheduler(workers=workers).run(items, on_partial=on_partial)
 
 
 # ----------------------------------------------------------------------
@@ -370,6 +504,7 @@ def run_fused(
     n_runs: int,
     workers: Optional[int] = None,
     campaign: str = "montecarlo",
+    on_partial: Optional[PartialFn] = None,
 ) -> List[Dict[str, float]]:
     """Execute a Monte-Carlo run function through the fused queue.
 
@@ -390,7 +525,7 @@ def run_fused(
         )
         for run_index in range(n_runs)
     ]
-    return execute_items(items, workers=workers)
+    return execute_items(items, workers=workers, on_partial=on_partial)
 
 
 def _map_task(
@@ -409,6 +544,7 @@ def map_fused(
     workers: Optional[int] = None,
     campaign: str = "map",
     cell_ids: Optional[Sequence[int]] = None,
+    on_partial: Optional[PartialFn] = None,
 ) -> List[Any]:
     """Map ``fn`` over ``items`` through the fused queue.
 
@@ -440,4 +576,4 @@ def map_fused(
                 spawn_index=index,
             )
         )
-    return execute_items(work, workers=workers)
+    return execute_items(work, workers=workers, on_partial=on_partial)

@@ -1,0 +1,97 @@
+"""Round-trip properties of the columnar fleet representation.
+
+For arbitrary well-formed fleets, the three representations — device
+objects, ``FleetArrays`` columns, and ``Fleet`` views — must convert
+into each other losslessly, and index-slicing must commute with the
+conversions. These are the invariants that make the columnar form
+*canonical*: anything provable about the arrays holds for the views.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.devices import Battery, Fleet, FleetArrays, NbIotDevice
+from repro.devices.arrays import CATEGORY_ORDER, COVERAGE_ORDER
+from repro.devices.identity import DeviceIdentity
+from repro.drx.config import DrxConfig
+from repro.drx.cycles import FULL_LADDER
+from repro.drx.paging import NB
+
+_NB_MEMBERS = tuple(NB)
+
+
+@st.composite
+def device_rows(draw):
+    imsi = draw(st.integers(min_value=1, max_value=10**15 - 1))
+    cycle = draw(st.sampled_from(FULL_LADDER))
+    nb = draw(st.sampled_from(_NB_MEMBERS))
+    battery = None
+    if draw(st.booleans()):
+        battery = Battery(
+            capacity_mah=draw(
+                st.floats(min_value=10.0, max_value=20_000.0)
+            ),
+            voltage_v=draw(st.floats(min_value=1.0, max_value=12.0)),
+        )
+    return NbIotDevice(
+        identity=DeviceIdentity(imsi),
+        drx=DrxConfig(
+            ue_id=imsi % 4096,
+            preferred_cycle=cycle,
+            active_cycle=cycle,
+            nb=nb,
+        ),
+        coverage=draw(st.sampled_from(COVERAGE_ORDER)),
+        category=draw(st.sampled_from(CATEGORY_ORDER)),
+        battery=battery,
+    )
+
+
+@st.composite
+def fleets(draw, max_size=60):
+    devices = draw(
+        st.lists(
+            device_rows(),
+            min_size=1,
+            max_size=max_size,
+            unique_by=lambda d: d.identity.imsi,
+        )
+    )
+    return tuple(devices)
+
+
+class TestFleetArraysRoundTrip:
+    @given(fleets())
+    @settings(max_examples=60, deadline=None)
+    def test_arrays_fleet_arrays_is_identity(self, devices):
+        arrays = FleetArrays.from_devices(devices)
+        fleet = Fleet.from_arrays(arrays)
+        assert FleetArrays.from_devices(tuple(fleet.devices)).equals(
+            arrays
+        )
+
+    @given(fleets())
+    @settings(max_examples=60, deadline=None)
+    def test_device_views_match_source_objects(self, devices):
+        fleet = Fleet.from_arrays(FleetArrays.from_devices(devices))
+        assert len(fleet) == len(devices)
+        assert tuple(fleet) == devices
+
+    @given(fleets(), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_take_commutes_with_subset(self, devices, data):
+        fleet = Fleet.from_arrays(FleetArrays.from_devices(devices))
+        indices = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=len(devices) - 1),
+                min_size=1,
+                max_size=len(devices),
+                unique=True,
+            )
+        )
+        sub = fleet.subset(indices)
+        assert sub.arrays.equals(
+            fleet.arrays.take(np.asarray(indices, dtype=np.int64))
+        )
+        assert tuple(sub) == tuple(devices[i] for i in indices)

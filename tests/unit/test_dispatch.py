@@ -1,5 +1,7 @@
 """Unit tests for the fused (run x cell) work-queue scheduler."""
 
+import pickle
+
 import numpy as np
 import pytest
 
@@ -337,3 +339,84 @@ class TestFlatMapAdapters:
     def test_map_fused_rejects_empty(self):
         with pytest.raises(ConfigurationError, match="no items"):
             map_fused(draw_item, 1, [])
+
+
+class TestStreamedPartials:
+    def test_top_completions_stream_in_arrival_order(self):
+        ledger = ReductionLedger(3)
+        ledger.complete_top(2, "late")
+        ledger.complete_top(0, "early")
+        partials = list(ledger.partial_results())
+        assert [(p.kind, p.top_index, p.value) for p in partials] == [
+            ("top", 2, "late"),
+            ("top", 0, "early"),
+        ]
+        # Draining is destructive: nothing new, nothing repeated.
+        assert list(ledger.partial_results()) == []
+        ledger.complete_top(1, "mid")
+        assert [p.value for p in ledger.partial_results()] == ["mid"]
+
+    def test_fanout_streams_subs_then_reduce(self):
+        ledger = ReductionLedger(1)
+        fanout = FanOut(
+            items=tuple(_item(p) for p in range(2)),
+            reduce_fn=_sum_reduce,
+            state=0.0,
+        )
+        ledger.complete_top(0, fanout)
+        ledger.complete_sub(0, 1, 4.0)
+        ledger.complete_sub(0, 0, 3.0)
+        ledger.complete_reduce(0, 7.0)
+        partials = list(ledger.partial_results())
+        assert [(p.kind, p.position) for p in partials] == [
+            ("sub", 1),
+            ("sub", 0),
+            ("reduce", None),
+        ]
+        assert partials[-1].value == 7.0
+        # Streaming never perturbs the canonical outputs.
+        assert ledger.results() == [7.0]
+
+    def test_scheduler_invokes_on_partial_per_completion(self):
+        seen = []
+        results = execute_items(
+            [_item(i, seed=7) for i in range(3)],
+            workers=1,
+            on_partial=seen.append,
+        )
+        assert [p.value for p in seen] == results
+        assert all(p.kind == "top" for p in seen)
+        assert sorted(p.top_index for p in seen) == [0, 1, 2]
+
+
+class TestPicklabilityValidation:
+    def test_shared_fn_pickled_once(self, monkeypatch):
+        import repro.sim.dispatch as dispatch_module
+
+        calls = []
+        real_dumps = pickle.dumps
+
+        class CountingPickle:
+            @staticmethod
+            def dumps(obj):
+                calls.append(obj)
+                return real_dumps(obj)
+
+        monkeypatch.setattr(dispatch_module, "pickle", CountingPickle)
+        items = [_item(i, seed=1) for i in range(50)]
+        dispatch_module._validate_picklable(items)
+        assert len(calls) == 1
+
+    def test_distinct_unpicklable_fn_still_caught(self):
+        items = [
+            _item(0, seed=1),
+            WorkItem(
+                address=TaskAddress("t", 1),
+                fn=lambda rng, address, payload: 0.0,
+                payload=None,
+                seed=1,
+                spawn_index=1,
+            ),
+        ]
+        with pytest.raises(ConfigurationError, match="picklable"):
+            FusedScheduler(workers=1).run(items)

@@ -1,0 +1,163 @@
+"""SharedFleet lifecycle: create/attach/close/unlink without leaks.
+
+The ownership contract under test (docs/architecture.md "Memory
+model"): the creator owns the segment name and alone may unlink it;
+attachers map read-only views and close; a dead descriptor surfaces as
+:class:`~repro.errors.SimulationError` carrying the caller's context,
+never a raw ``FileNotFoundError``.
+"""
+
+import os
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.devices import (
+    FleetArrays,
+    SharedFleet,
+    SharedFleetDescriptor,
+    unlink_descriptor,
+)
+from repro.devices.sharedmem import SEGMENT_PREFIX
+from repro.errors import SimulationError
+from repro.traffic.generator import generate_fleet
+from repro.traffic.mixtures import MODERATE_EDRX_MIXTURE
+
+
+def _arrays(n=32, seed=3):
+    rng = np.random.default_rng(seed)
+    return generate_fleet(n, MODERATE_EDRX_MIXTURE, rng).arrays
+
+
+def _segment_path(descriptor) -> str:
+    return f"/dev/shm/{descriptor.name}"
+
+
+@pytest.fixture
+def shared():
+    fleet = SharedFleet.create(_arrays())
+    yield fleet
+    fleet.unlink()
+    fleet.close()
+
+
+class TestCreateAttach:
+    def test_round_trip_equality(self, shared):
+        attached = SharedFleet.attach(shared.descriptor)
+        try:
+            assert attached.arrays.equals(shared.arrays)
+            assert not attached.owner and shared.owner
+        finally:
+            attached.close()
+
+    def test_extras_round_trip(self):
+        arrays = _arrays(16)
+        attachments = np.arange(16, dtype=np.int64) % 4
+        shared = SharedFleet.create(
+            arrays, extras={"attachments": attachments}
+        )
+        try:
+            attached = SharedFleet.attach(shared.descriptor)
+            assert attached.extra("attachments").tolist() == (
+                attachments.tolist()
+            )
+            with pytest.raises(ValueError):
+                attached.extra("attachments")[0] = 9
+            attached.close()
+        finally:
+            shared.unlink()
+            shared.close()
+
+    def test_extras_must_match_fleet_length(self):
+        with pytest.raises(SimulationError, match="shape"):
+            SharedFleet.create(
+                _arrays(8), extras={"attachments": np.zeros(4, np.int64)}
+            )
+
+    def test_descriptor_is_tiny_and_picklable(self, shared):
+        payload = pickle.dumps(shared.descriptor)
+        assert len(payload) < 200
+        clone = pickle.loads(payload)
+        assert clone == shared.descriptor
+        assert clone.nbytes == shared.descriptor.nbytes
+
+    def test_segment_name_carries_repro_prefix(self, shared):
+        assert shared.descriptor.name.startswith(SEGMENT_PREFIX)
+        assert os.path.exists(_segment_path(shared.descriptor))
+
+    def test_attached_columns_are_zero_copy_views(self, shared):
+        attached = SharedFleet.attach(shared.descriptor)
+        try:
+            # A view over the segment buffer owns no data of its own.
+            assert not attached.arrays.imsis.flags.owndata
+            assert attached.arrays.imsis.base is not None
+        finally:
+            attached.close()
+
+
+class TestLifecycle:
+    def test_unlink_removes_segment_file(self):
+        shared = SharedFleet.create(_arrays())
+        path = _segment_path(shared.descriptor)
+        assert os.path.exists(path)
+        shared.unlink()
+        shared.close()
+        assert not os.path.exists(path)
+
+    def test_only_creator_may_unlink(self, shared):
+        attached = SharedFleet.attach(shared.descriptor)
+        try:
+            with pytest.raises(SimulationError, match="only the creator"):
+                attached.unlink()
+        finally:
+            attached.close()
+        assert os.path.exists(_segment_path(shared.descriptor))
+
+    def test_unlink_is_idempotent(self):
+        shared = SharedFleet.create(_arrays())
+        shared.unlink()
+        shared.unlink()
+        shared.close()
+
+    def test_close_is_idempotent(self, shared):
+        attached = SharedFleet.attach(shared.descriptor)
+        attached.close()
+        attached.close()
+
+    def test_unlink_descriptor_removes_segment(self):
+        shared = SharedFleet.create(_arrays())
+        descriptor = shared.descriptor
+        shared.close()
+        unlink_descriptor(descriptor)
+        assert not os.path.exists(_segment_path(descriptor))
+
+    def test_unlink_descriptor_tolerates_missing_segment(self):
+        unlink_descriptor(
+            SharedFleetDescriptor(
+                name=f"{SEGMENT_PREFIX}deadbeefdeadbeef", n_devices=4
+            )
+        )
+
+
+class TestDeadSegmentErrors:
+    def test_attach_after_unlink_raises_simulation_error(self):
+        shared = SharedFleet.create(_arrays())
+        descriptor = shared.descriptor
+        shared.unlink()
+        shared.close()
+        with pytest.raises(SimulationError, match="is gone"):
+            SharedFleet.attach(descriptor)
+
+    def test_dead_attach_error_carries_task_context(self):
+        shared = SharedFleet.create(_arrays())
+        descriptor = shared.descriptor
+        shared.unlink()
+        shared.close()
+        with pytest.raises(
+            SimulationError,
+            match=r"while running deadbeef/run3/cell7",
+        ) as excinfo:
+            SharedFleet.attach(descriptor, context="deadbeef/run3/cell7")
+        assert descriptor.name in str(excinfo.value)
+        assert not isinstance(excinfo.value, FileNotFoundError)

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Assert /dev/shm holds no leaked shared-memory segments.
+#
+# The zero-copy fleet path (src/repro/devices/sharedmem.py) names its
+# segments repro_fleet_*; Python's multiprocessing names unmanaged ones
+# psm_*. After any test or bench run — including one killed by SIGTERM,
+# where Python's resource tracker reclaims registered segments on exit
+# — neither may remain. A short retry loop gives the tracker (a
+# separate process) time to finish its cleanup before we call a
+# survivor a leak.
+#
+# Usage: tools/check_shm_hygiene.sh [label]
+set -u
+
+label="${1:-shm-hygiene}"
+shm_dir="/dev/shm"
+
+if [ ! -d "$shm_dir" ]; then
+    echo "$label: $shm_dir not present; nothing to check"
+    exit 0
+fi
+
+leaks=""
+for _ in 1 2 3 4 5 6 7 8 9 10; do
+    leaks="$(find "$shm_dir" -maxdepth 1 \
+        \( -name 'psm_*' -o -name 'repro_fleet_*' \) 2>/dev/null)"
+    [ -z "$leaks" ] && break
+    sleep 1
+done
+
+if [ -n "$leaks" ]; then
+    echo "$label: leaked shared-memory segments:" >&2
+    echo "$leaks" >&2
+    exit 1
+fi
+
+echo "$label: $shm_dir clean"
