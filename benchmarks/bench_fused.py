@@ -75,6 +75,16 @@ MIN_SPEEDUP = 2.0
 #: Serial wall-clock below which ratios are recorded but not asserted.
 MIN_ASSERTED_SERIAL_S = 1.0
 
+#: The single-worker bar: with the dispatch grain right-sized, fused at
+#: 1 worker must stay within 5 % of serial — the regime where the old
+#: per-item submission quietly lost (and ``speedup_asserted: false``
+#: hid it). Asserted whenever the serial run is long enough to measure,
+#: regardless of core count.
+MIN_SINGLE_WORKER_RATIO = 0.95
+
+#: The dispatch grains the single-worker sweep times (None = auto).
+CHUNK_SWEEP = (1, 8, None)
+
 #: Metrics the siloed mirror recomputes (a faithful subset of the
 #: scenario runner's per-run dict — enough to pin equivalence).
 MIRROR_METRICS = (
@@ -182,6 +192,31 @@ def test_a10_fused_vs_siloed(capsys):
             err_msg=f"siloed mirror drifted on {metric}",
         )
 
+    # Chunk-size sweep at 1 worker: the dispatch-grain regime where the
+    # per-item submission used to lose to serial outright. Every grain
+    # must stay bit-identical; the best grain carries the assertion.
+    sweep = []
+    for chunk_size in CHUNK_SWEEP:
+        t0 = time.perf_counter()
+        chunked = run_scenario(
+            spec, backend="fused", workers=1, chunk_size=chunk_size
+        )
+        chunk_s = time.perf_counter() - t0
+        for metric in serial:
+            np.testing.assert_array_equal(
+                serial[metric].values,
+                chunked[metric].values,
+                err_msg=f"chunk_size={chunk_size}: {metric}",
+            )
+        sweep.append(
+            {
+                "chunk_size": chunk_size,
+                "fused_1w_s": chunk_s,
+                "over_serial": serial_s / chunk_s if chunk_s > 0 else float("inf"),
+            }
+        )
+    best = max(sweep, key=lambda row: row["over_serial"])
+
     cores = os.cpu_count() or 1
     over_siloed = siloed_s / fused_s if fused_s > 0 else float("inf")
     over_serial = serial_s / fused_s if fused_s > 0 else float("inf")
@@ -196,6 +231,16 @@ def test_a10_fused_vs_siloed(capsys):
             f"fused only {over_siloed:.2f}x over the siloed path at "
             f"{spec.n_devices} devices (siloed {siloed_s:.2f}s, fused "
             f"{fused_s:.2f}s, {workers} workers)"
+        )
+    single_worker_asserted = serial_s >= MIN_ASSERTED_SERIAL_S
+    if single_worker_asserted:
+        assert best["over_serial"] >= MIN_SINGLE_WORKER_RATIO, (
+            f"fused at 1 worker reaches only "
+            f"{best['over_serial']:.2f}x serial at its best grain "
+            f"(chunk_size={best['chunk_size']}, "
+            f"{best['fused_1w_s']:.2f}s vs serial {serial_s:.2f}s) — "
+            f"below the {MIN_SINGLE_WORKER_RATIO} bar; the dispatch "
+            f"grain no longer amortises the per-task IPC round trip"
         )
 
     path = write_bench_artifact(
@@ -216,6 +261,11 @@ def test_a10_fused_vs_siloed(capsys):
             "speedup_asserted": asserted,
             "assert_speedup_from_devices": ASSERT_SPEEDUP_FROM,
             "min_speedup": MIN_SPEEDUP,
+            "chunk_sweep_1_worker": sweep,
+            "best_chunk_size": best["chunk_size"],
+            "fused_1w_over_serial": best["over_serial"],
+            "single_worker_asserted": single_worker_asserted,
+            "min_single_worker_ratio": MIN_SINGLE_WORKER_RATIO,
         },
     )
     emit(
@@ -245,6 +295,16 @@ def test_a10_fused_vs_siloed(capsys):
                     f"{ASSERT_SPEEDUP_FROM} devices with >= 2 cores"
                     + ("" if asserted else " (not asserted at this size)")
                     + ".",
+                    f"1-worker chunk sweep: best grain "
+                    f"{best['chunk_size']} reaches "
+                    f"{best['over_serial']:.2f}x serial (bar >= "
+                    f"{MIN_SINGLE_WORKER_RATIO}"
+                    + (
+                        ", asserted"
+                        if single_worker_asserted
+                        else ", not asserted at this size"
+                    )
+                    + ").",
                 ),
             )
         ),
@@ -299,7 +359,7 @@ def _touch_shared_fleet(descriptor, cell_id, queue):
     for _, column in shared.arrays.columns():
         touched += float(np.nansum(column))
     indices = np.flatnonzero(shared.extra("attachments") == cell_id)
-    cell_fleet = Fleet.from_arrays(shared.arrays.take(indices))
+    cell_fleet = Fleet.from_arrays(shared.arrays.take(indices), trusted=True)
     queue.put(
         {
             "rss_delta_kb": _vm_rss_kb() - rss_before,
@@ -329,18 +389,28 @@ def test_a10_megafleet_zero_copy_rss(capsys):
     n_attachers = _env_int("REPRO_BENCH_FUSED_MEGA_ATTACHERS", 3)
     rng = np.random.default_rng(20180702)
 
+    staged = SharedFleet.allocate(n_devices, extras=("attachments",))
     t0 = time.perf_counter()
-    fleet = generate_fleet(n_devices, MODERATE_EDRX_MIXTURE, rng)
+    fleet = generate_fleet(
+        n_devices,
+        MODERATE_EDRX_MIXTURE,
+        rng,
+        out=staged.column_buffers(),
+    )
     generate_s = time.perf_counter() - t0
+    # The fleet's columns are the segment's own buffers now, so take
+    # the reference checksum before the segment is unlinked below.
+    expected_checksum = int(fleet.arrays.imsis.sum())
     attachments = attach_devices(
         len(fleet), MultiCellSpec(n_cells=n_cells), rng
     )
 
     t0 = time.perf_counter()
-    shared = SharedFleet.create(
-        fleet.arrays,
-        extras={"attachments": np.asarray(attachments, dtype=np.int64)},
+    np.copyto(
+        staged.extra_buffer("attachments"),
+        np.asarray(attachments, dtype=np.int64),
     )
+    shared = staged.seal(fleet.arrays)
     publish_s = time.perf_counter() - t0
     single_copy = shared.descriptor.nbytes
     rss_ceiling_kb = int(1.5 * single_copy) // 1024
@@ -371,7 +441,6 @@ def test_a10_megafleet_zero_copy_rss(capsys):
 
     assert not os.path.exists(f"/dev/shm/{shared.descriptor.name}")
     assert len(reports) == n_attachers
-    expected_checksum = int(fleet.arrays.imsis.sum())
     for report in reports:
         assert report["checksum"] == expected_checksum
         assert report["cell_devices"] > 0

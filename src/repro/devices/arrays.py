@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, fields
 from fractions import Fraction
-from typing import Dict, Iterator, Optional, Sequence, Tuple
+from typing import Dict, Iterator, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -191,6 +191,7 @@ class FleetArrays:
         category_codes: np.ndarray,
         nb: NB = NB.ONE_T,
         battery: Optional[Battery] = None,
+        out: Optional[Mapping[str, np.ndarray]] = None,
     ) -> "FleetArrays":
         """Build a fleet from its independent columns.
 
@@ -198,10 +199,19 @@ class FleetArrays:
         are computed vectorised — bit-identical to what per-device
         construction would produce — so no device object ever exists.
         ``nb`` and ``battery`` are fleet-wide (the generator's model).
+
+        ``out`` supplies writable destination buffers for every schema
+        column (e.g. the column views of a staged
+        :class:`~repro.devices.sharedmem.SharedFleet` segment): the
+        independent draws are copied in once and the derived columns
+        are computed *directly into* the buffers, so the returned
+        ``FleetArrays`` is backed by ``out``'s memory and publishing it
+        needs no second 88 MB column-by-column copy.
         """
         imsis = np.ascontiguousarray(imsis, np.int64)
         periods = np.ascontiguousarray(periods, np.int64)
         coverage_codes = np.ascontiguousarray(coverage_codes, np.int64)
+        category_codes = np.ascontiguousarray(category_codes, np.int64)
         n = imsis.size
         if not n:
             raise FleetError("a fleet must contain at least one device")
@@ -211,36 +221,66 @@ class FleetArrays:
             raise FleetError("IMSIs must be positive 15-digit integers")
         for code_column, order, what in (
             (coverage_codes, COVERAGE_ORDER, "coverage"),
-            (
-                np.ascontiguousarray(category_codes, np.int64),
-                CATEGORY_ORDER,
-                "category",
-            ),
+            (category_codes, CATEGORY_ORDER, "category"),
         ):
             if code_column.min() < 0 or code_column.max() >= len(order):
                 raise FleetError(f"{what} code out of range")
         ladder = np.unique(periods)
         for frames in ladder.tolist():
             DrxCycle(frames)  # validates ladder membership
-        ue_ids = imsis % 4096
-        shape = np.ones(n, dtype=np.int64)
-        return cls(
-            imsis=imsis,
-            periods=periods,
-            phases=v_paging_frame_offset(ue_ids, periods, nb),
-            ue_ids=ue_ids,
-            coverage_codes=coverage_codes,
-            category_codes=np.ascontiguousarray(category_codes, np.int64),
-            nb_numerators=shape * nb.fraction.numerator,
-            nb_denominators=shape * nb.fraction.denominator,
-            downlink_bps=_RATE_BY_CODE[coverage_codes],
-            battery_capacity_mah=np.full(
-                n, np.nan if battery is None else battery.capacity_mah
-            ),
-            battery_voltage_v=np.full(
-                n, np.nan if battery is None else battery.voltage_v
-            ),
+        if out is None:
+            ue_ids = imsis % 4096
+            shape = np.ones(n, dtype=np.int64)
+            return cls(
+                imsis=imsis,
+                periods=periods,
+                phases=v_paging_frame_offset(ue_ids, periods, nb),
+                ue_ids=ue_ids,
+                coverage_codes=coverage_codes,
+                category_codes=category_codes,
+                nb_numerators=shape * nb.fraction.numerator,
+                nb_denominators=shape * nb.fraction.denominator,
+                downlink_bps=_RATE_BY_CODE[coverage_codes],
+                battery_capacity_mah=np.full(
+                    n, np.nan if battery is None else battery.capacity_mah
+                ),
+                battery_voltage_v=np.full(
+                    n, np.nan if battery is None else battery.voltage_v
+                ),
+            )
+        for name, dtype in COLUMN_SCHEMA:
+            dest = out.get(name)
+            if (
+                dest is None
+                or dest.shape != (n,)
+                or dest.dtype != dtype
+                or not dest.flags.writeable
+            ):
+                raise FleetError(
+                    f"destination buffer {name!r} must be a writable "
+                    f"({n},) array of {dtype}"
+                )
+        # Drawn columns pay one copy each (the generator owns their
+        # memory); every derived column lands in its buffer directly.
+        np.copyto(out["imsis"], imsis)
+        np.copyto(out["periods"], periods)
+        np.copyto(out["coverage_codes"], coverage_codes)
+        np.copyto(out["category_codes"], category_codes)
+        np.remainder(out["imsis"], 4096, out=out["ue_ids"])
+        np.copyto(
+            out["phases"],
+            v_paging_frame_offset(out["ue_ids"], out["periods"], nb),
         )
+        out["nb_numerators"][...] = nb.fraction.numerator
+        out["nb_denominators"][...] = nb.fraction.denominator
+        np.take(_RATE_BY_CODE, out["coverage_codes"], out=out["downlink_bps"])
+        out["battery_capacity_mah"][...] = (
+            np.nan if battery is None else battery.capacity_mah
+        )
+        out["battery_voltage_v"][...] = (
+            np.nan if battery is None else battery.voltage_v
+        )
+        return cls(**{name: out[name] for name, _ in COLUMN_SCHEMA})
 
     # ------------------------------------------------------------------
     # Shape and identity

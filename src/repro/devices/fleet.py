@@ -46,9 +46,21 @@ class Fleet:
         self._devices_cache = tuple(devices)
 
     @classmethod
-    def from_arrays(cls, arrays: FleetArrays) -> "Fleet":
-        """Wrap a columnar fleet without materialising any devices."""
-        arrays.validate_unique_imsis()
+    def from_arrays(
+        cls, arrays: FleetArrays, *, trusted: bool = False
+    ) -> "Fleet":
+        """Wrap a columnar fleet without materialising any devices.
+
+        ``trusted=True`` skips the duplicate-IMSI rescan — the
+        validate-once contract for columns whose uniqueness is already
+        guaranteed: the generator's without-replacement sampler, an
+        attach to a published shared-memory fleet, or an index slice of
+        either. Untrusted columns (hand-rolled tests, external data)
+        keep the O(n log n) scan. Attach-side workers used to re-pay
+        this scan per task; they now trust the creator's validation.
+        """
+        if not trusted:
+            arrays.validate_unique_imsis()
         fleet = object.__new__(cls)
         fleet._arrays = arrays
         fleet._devices_cache = None

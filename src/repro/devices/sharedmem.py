@@ -67,7 +67,10 @@ class SharedFleetDescriptor:
 
 
 def _column_views(
-    buf: memoryview, descriptor: SharedFleetDescriptor
+    buf: memoryview,
+    descriptor: SharedFleetDescriptor,
+    *,
+    writable_extras: bool = False,
 ) -> Tuple[Dict[str, np.ndarray], Dict[str, np.ndarray]]:
     """Map the fixed layout: schema columns, then extras, 8 bytes/row."""
     n = descriptor.n_devices
@@ -79,7 +82,8 @@ def _column_views(
     extras: Dict[str, np.ndarray] = {}
     for name in descriptor.extras:
         view = np.ndarray((n,), dtype=np.int64, buffer=buf, offset=offset)
-        view.flags.writeable = False
+        if not writable_extras:
+            view.flags.writeable = False
         extras[name] = view
         offset += n * 8
     return columns, extras
@@ -94,14 +98,23 @@ class SharedFleet:
         descriptor: SharedFleetDescriptor,
         *,
         owner: bool,
+        staged: bool = False,
     ) -> None:
         self._shm = shm
         self._descriptor = descriptor
         self._owner = owner
         self._closed = False
-        columns, extras = _column_views(shm.buf, descriptor)
-        self._arrays = FleetArrays(**columns)
-        self._extras = extras
+        self._staged = staged
+        if staged:
+            # A staging segment exposes writable column buffers and no
+            # FleetArrays until seal() publishes the built fleet.
+            self._arrays: Optional[FleetArrays] = None
+            self._columns, self._extras = _column_views(
+                shm.buf, descriptor, writable_extras=True
+            )
+        else:
+            self._columns, self._extras = _column_views(shm.buf, descriptor)
+            self._arrays = FleetArrays(**self._columns)
         # Close-only finalizer: dropping the last reference unmaps the
         # pages in this process but never touches the segment name —
         # only an explicit unlink() (or the creator's resource-tracker
@@ -112,13 +125,92 @@ class SharedFleet:
     # Construction
     # ------------------------------------------------------------------
     @classmethod
+    def allocate(
+        cls, n_devices: int, extras: Tuple[str, ...] = ()
+    ) -> "SharedFleet":
+        """Create an empty staging segment to build a fleet in place.
+
+        The returned fleet is *staged*: :meth:`column_buffers` /
+        :meth:`extra_buffer` expose writable views over the segment so
+        a generator can compute the columns directly into shared
+        memory, and :meth:`seal` then publishes the result — a header
+        write, not a copy. Until ``seal`` runs, :attr:`arrays` raises.
+        """
+        if n_devices < 1:
+            raise SimulationError(
+                f"a shared fleet needs >= 1 device, got {n_devices}"
+            )
+        resource_tracker.ensure_running()
+        descriptor = SharedFleetDescriptor(
+            name=f"{SEGMENT_PREFIX}{token_hex(8)}",
+            n_devices=int(n_devices),
+            extras=tuple(extras),
+        )
+        shm = shared_memory.SharedMemory(
+            create=True, size=max(1, descriptor.nbytes), name=descriptor.name
+        )
+        return cls(shm, descriptor, owner=True, staged=True)
+
+    def column_buffers(self) -> Dict[str, np.ndarray]:
+        """Writable schema-column views of a staging segment."""
+        self._require_staged("column_buffers")
+        return dict(self._columns)
+
+    def extra_buffer(self, name: str) -> np.ndarray:
+        """The writable view of one extra column (staging only)."""
+        self._require_staged("extra_buffer")
+        return self._extras[name]
+
+    def seal(self, arrays: FleetArrays) -> "SharedFleet":
+        """Publish a fleet built inside this staging segment.
+
+        ``arrays`` must be backed by the segment's own column buffers
+        (what :meth:`~repro.devices.arrays.FleetArrays.from_columns`
+        returns when handed :meth:`column_buffers` as ``out``) — seal
+        is a header write: it freezes the extra columns, records the
+        arrays, and flips the segment from staging to published. No
+        column data moves.
+        """
+        self._require_staged("seal")
+        if arrays.n != self._descriptor.n_devices:
+            raise SimulationError(
+                f"sealed fleet has {arrays.n} devices, segment was "
+                f"allocated for {self._descriptor.n_devices}"
+            )
+        segment_base = np.frombuffer(self._shm.buf, dtype=np.uint8)
+        base_address = segment_base.__array_interface__["data"][0]
+        imsis_address = arrays.imsis.__array_interface__["data"][0]
+        if imsis_address != base_address:
+            raise SimulationError(
+                "seal() requires columns built inside this segment "
+                "(pass column_buffers() as the generator's `out`); "
+                "use SharedFleet.create() to publish a heap fleet"
+            )
+        for view in self._extras.values():
+            view.flags.writeable = False
+        self._arrays = arrays
+        self._staged = False
+        return self
+
+    def _require_staged(self, what: str) -> None:
+        if not self._staged:
+            raise SimulationError(
+                f"{what}() is only available on a staging segment "
+                f"(SharedFleet.allocate) before seal()"
+            )
+
+    @classmethod
     def create(
         cls,
         arrays: FleetArrays,
         extras: Optional[Mapping[str, np.ndarray]] = None,
     ) -> "SharedFleet":
-        """Publish ``arrays`` (and int64 ``extras`` columns) to a new segment."""
-        resource_tracker.ensure_running()
+        """Publish ``arrays`` (and int64 ``extras`` columns) to a new segment.
+
+        The copying path, for fleets that already exist on the heap;
+        fleets generated for publication should be built straight into
+        an :meth:`allocate`'d segment instead.
+        """
         extras = dict(extras or {})
         for name, column in extras.items():
             column = np.ascontiguousarray(column, dtype=np.int64)
@@ -128,24 +220,13 @@ class SharedFleet:
                     f"expected ({arrays.n},)"
                 )
             extras[name] = column
-        descriptor = SharedFleetDescriptor(
-            name=f"{SEGMENT_PREFIX}{token_hex(8)}",
-            n_devices=arrays.n,
-            extras=tuple(extras),
-        )
-        shm = shared_memory.SharedMemory(
-            create=True, size=max(1, descriptor.nbytes), name=descriptor.name
-        )
-        columns, extra_views = _column_views(shm.buf, descriptor)
+        staged = cls.allocate(arrays.n, extras=tuple(extras))
+        buffers = staged.column_buffers()
         for name, _ in COLUMN_SCHEMA:
-            dest = columns[name]
-            dest.flags.writeable = True
-            np.copyto(dest, getattr(arrays, name))
-        for name, view in extra_views.items():
-            view.flags.writeable = True
-            np.copyto(view, extras[name])
-            view.flags.writeable = False
-        return cls(shm, descriptor, owner=True)
+            np.copyto(buffers[name], getattr(arrays, name))
+        for name, column in extras.items():
+            np.copyto(staged.extra_buffer(name), column)
+        return staged.seal(FleetArrays(**buffers))
 
     @classmethod
     def attach(
@@ -185,6 +266,11 @@ class SharedFleet:
     @property
     def arrays(self) -> FleetArrays:
         """The fleet columns as zero-copy views over the segment."""
+        if self._staged:
+            raise SimulationError(
+                f"shared fleet {self._descriptor.name!r} is still "
+                f"staging: seal() it before reading arrays"
+            )
         return self._arrays
 
     def extra(self, name: str) -> np.ndarray:
@@ -208,8 +294,10 @@ class SharedFleet:
         if self._closed:
             return
         self._closed = True
+        self._staged = False
         self._finalizer.detach()
         self._arrays = None  # type: ignore[assignment]
+        self._columns = {}
         self._extras = {}
         _close_segment(self._shm)
 

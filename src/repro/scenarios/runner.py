@@ -28,7 +28,7 @@ pickled or regenerated per task.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -72,6 +72,7 @@ from repro.sim.montecarlo import (
     collect_metric_columns,
 )
 from repro.sim.parallel import ResultCache
+from repro.sim.phases import PhaseTimer
 from repro.timebase import format_bytes
 from repro.traffic.generator import generate_fleet
 
@@ -105,6 +106,7 @@ def _multi_cell_run(
     columnar: bool,
     run_index: int = 0,
     recording: Optional[List[RunLog]] = None,
+    timer: Optional[PhaseTimer] = None,
 ) -> Dict[str, float]:
     """One Monte-Carlo run of a multi-cell scenario.
 
@@ -114,25 +116,30 @@ def _multi_cell_run(
     so the run stays a pure function of its generator), and the repair
     rounds run per cell — each eNB transmits its own copy of the image.
     """
+    timer = PhaseTimer() if timer is None else timer
     cells = partition_fleet(
         fleet, spec.cells.n_cells, rng, weights=spec.cells.weights
     )
     executor = CampaignExecutor(timings=spec.timings(), columnar=columnar)
     entity = CoordinationEntity(spec.mechanism_obj(), executor=executor)
     rollout_seed = int(rng.integers(0, 2**32))
-    report = entity.rollout(
-        cells,
-        spec.image(),
-        spec.planning_context(),
-        seed=rollout_seed,
-        record_events=recording is not None,
-    )
-    repairs = [
-        simulate_repair_rounds(
-            spec.image(), campaign.fleet_size, spec.reliability(), rng
+    # The rollout plans and executes each cell internally, so the
+    # multi-cell run's planning cost is folded into its execute phase.
+    with timer.phase("execute"):
+        report = entity.rollout(
+            cells,
+            spec.image(),
+            spec.planning_context(),
+            seed=rollout_seed,
+            record_events=recording is not None,
         )
-        for campaign in report.campaigns
-    ]
+    with timer.phase("reduce"):
+        repairs = [
+            simulate_repair_rounds(
+                spec.image(), campaign.fleet_size, spec.reliability(), rng
+            )
+            for campaign in report.campaigns
+        ]
     if recording is not None:
         cell_logs = {}
         for campaign, repair in zip(report.campaigns, repairs):
@@ -144,9 +151,9 @@ def _multi_cell_run(
                 ])
             )
             cell_logs[campaign.cell_id] = log
-        recording.append(
-            RunLog(meta=_run_meta(spec, run_index), cells=cell_logs)
-        )
+        meta = _run_meta(spec, run_index)
+        meta["phase_timings"] = timer.timings()
+        recording.append(RunLog(meta=meta, cells=cell_logs))
 
     histogram = fleet.coverage_histogram()
     deep = histogram[CoverageClass.ROBUST] + histogram[CoverageClass.EXTREME]
@@ -189,25 +196,36 @@ def scenario_run(
     appended to it. Recording works only with in-process execution —
     a process-pool worker would append to its own copy of the list.
     """
-    fleet = generate_fleet(
-        spec.n_devices,
-        spec.mixture_obj(),
-        rng,
-        coverage_mix=spec.coverage,
-        battery=spec.battery(),
-    )
+    timer = PhaseTimer()
+    with timer.phase("generate"):
+        fleet = generate_fleet(
+            spec.n_devices,
+            spec.mixture_obj(),
+            rng,
+            coverage_mix=spec.coverage,
+            battery=spec.battery(),
+        )
     if spec.cells.is_multi_cell:
         return _multi_cell_run(
-            rng, spec, fleet, columnar, run_index=_run_index, recording=recording
+            rng,
+            spec,
+            fleet,
+            columnar,
+            run_index=_run_index,
+            recording=recording,
+            timer=timer,
         )
     mechanism = spec.mechanism_obj()
-    plan = mechanism.plan(fleet, spec.planning_context(), rng)
+    with timer.phase("plan"):
+        plan = mechanism.plan(fleet, spec.planning_context(), rng)
     executor = CampaignExecutor(timings=spec.timings(), columnar=columnar)
     recorder = EventLogRecorder() if recording is not None else None
-    result = executor.execute(fleet, plan, rng=rng, recorder=recorder)
-    repair = simulate_repair_rounds(
-        spec.image(), spec.n_devices, spec.reliability(), rng
-    )
+    with timer.phase("execute"):
+        result = executor.execute(fleet, plan, rng=rng, recorder=recorder)
+    with timer.phase("reduce"):
+        repair = simulate_repair_rounds(
+            spec.image(), spec.n_devices, spec.reliability(), rng
+        )
     if recorder is not None:
         log = recorder.finalize(cell=0).with_appended(
             np.concatenate([
@@ -219,9 +237,9 @@ def scenario_run(
                 ),
             ])
         )
-        recording.append(
-            RunLog(meta=_run_meta(spec, _run_index), cells={0: log})
-        )
+        meta = _run_meta(spec, _run_index)
+        meta["phase_timings"] = timer.timings()
+        recording.append(RunLog(meta=meta, cells={0: log}))
 
     summary = result.fleet
     histogram = fleet.coverage_histogram()
@@ -334,6 +352,9 @@ class _FusedReduceState:
     rng_state: Dict[str, Any]
     histogram: Dict[CoverageClass, int]
     descriptor: Optional[SharedFleetDescriptor] = None
+    #: Prologue wall-clock (``generate_s``, ``publish_s``) — carried
+    #: for observability; never folded into the run's metric dict.
+    phase_timings: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass(frozen=True)
@@ -357,6 +378,10 @@ class _CellSummary:
     connected_s: float
     energy_mj: float
     worker_rss_kb: int = 0
+    #: Worker-side wall-clock per phase (``attach_s``, ``plan_s``,
+    #: ``execute_s``) — streamed for observability (the cold-path bench
+    #: aggregates these from partials); never part of the metrics.
+    phase_timings: Dict[str, float] = field(default_factory=dict)
 
 
 def _fused_cell_task(
@@ -373,19 +398,23 @@ def _fused_cell_task(
     equality mask, so the sub-fleet is device-for-device identical to
     ``partition_fleet``'s.
     """
-    shared = _attached_fleet(payload.descriptor, context=str(address))
-    indices = np.flatnonzero(
-        shared.extra("attachments") == payload.cell_id
-    )
-    fleet = Fleet.from_arrays(shared.arrays.take(indices))
+    timer = PhaseTimer()
+    with timer.phase("attach"):
+        shared = _attached_fleet(payload.descriptor, context=str(address))
+        indices = np.flatnonzero(
+            shared.extra("attachments") == payload.cell_id
+        )
+        fleet = Fleet.from_arrays(shared.arrays.take(indices), trusted=True)
     spec = payload.spec
     mechanism = spec.mechanism_obj()
-    plan = mechanism.plan(fleet, spec.planning_context(), rng)
-    plan.validate(fleet)
+    with timer.phase("plan"):
+        plan = mechanism.plan(fleet, spec.planning_context(), rng)
+        plan.validate(fleet)
     executor = CampaignExecutor(
         timings=spec.timings(), columnar=payload.columnar
     )
-    result = executor.execute(fleet, plan, rng=rng)
+    with timer.phase("execute"):
+        result = executor.execute(fleet, plan, rng=rng)
     return _CellSummary(
         cell_id=payload.cell_id,
         fleet_size=len(fleet),
@@ -396,6 +425,7 @@ def _fused_cell_task(
         connected_s=result.fleet.connected_s,
         energy_mj=result.fleet.energy_mj,
         worker_rss_kb=_worker_rss_kb(),
+        phase_timings=timer.timings(),
     )
 
 
@@ -485,24 +515,38 @@ def _fused_run_task(
         )
         return {k: float(v) for k, v in metrics.items()}
     # Prologue: the run generator's draws, in the serial run's exact
-    # order — fleet sampling, cell attachment, rollout seed.
-    fleet = generate_fleet(
-        spec.n_devices,
-        spec.mixture_obj(),
-        rng,
-        coverage_mix=spec.coverage,
-        battery=spec.battery(),
-    )
-    attachments = attach_devices(
-        len(fleet),
-        MultiCellSpec(n_cells=spec.cells.n_cells, weights=spec.cells.weights),
-        rng,
-    )
-    rollout_seed = int(rng.integers(0, 2**32))
-    shared = SharedFleet.create(
-        fleet.arrays,
-        extras={"attachments": np.asarray(attachments, dtype=np.int64)},
-    )
+    # order — fleet sampling, cell attachment, rollout seed. The fleet's
+    # columns are generated straight into a staged shared-memory
+    # segment, so publishing below is a header write, not a copy.
+    timer = PhaseTimer()
+    staged = SharedFleet.allocate(spec.n_devices, extras=("attachments",))
+    try:
+        with timer.phase("generate"):
+            fleet = generate_fleet(
+                spec.n_devices,
+                spec.mixture_obj(),
+                rng,
+                coverage_mix=spec.coverage,
+                battery=spec.battery(),
+                out=staged.column_buffers(),
+            )
+        attachments = attach_devices(
+            len(fleet),
+            MultiCellSpec(
+                n_cells=spec.cells.n_cells, weights=spec.cells.weights
+            ),
+            rng,
+        )
+        rollout_seed = int(rng.integers(0, 2**32))
+        with timer.phase("publish"):
+            np.copyto(
+                staged.extra_buffer("attachments"),
+                np.asarray(attachments, dtype=np.int64),
+            )
+            shared = staged.seal(fleet.arrays)
+    except BaseException:
+        staged.unlink()
+        raise
     cell_ids = np.unique(attachments).tolist()
     items = tuple(
         WorkItem(
@@ -529,6 +573,7 @@ def _fused_run_task(
             rng_state=rng.bit_generator.state,
             histogram=fleet.coverage_histogram(),
             descriptor=shared.descriptor,
+            phase_timings=timer.timings(),
         ),
     )
 
@@ -566,6 +611,7 @@ def _fused_scenario_stats(
     columnar: bool,
     cache: Optional[ResultCache],
     on_partial: Optional[PartialFn] = None,
+    chunk_size: Optional[int] = None,
 ) -> Dict[str, RunStatistics]:
     """Run one scenario through the fused scheduler (cache-aware).
 
@@ -589,6 +635,7 @@ def _fused_scenario_stats(
         scenario_work_items(spec, root_seed, n_runs, columnar=columnar),
         workers=workers,
         on_partial=on_partial,
+        chunk_size=chunk_size,
     )
     collected = collect_metric_columns(per_run)
     if key is not None:
@@ -620,6 +667,7 @@ def run_scenario(
     cache: Optional[ResultCache] = None,
     record_dir: Optional[Union[str, Path]] = None,
     on_partial: Optional[PartialFn] = None,
+    chunk_size: Optional[int] = None,
 ) -> Dict[str, RunStatistics]:
     """Run ``spec`` through the Monte-Carlo harness and aggregate.
 
@@ -639,6 +687,8 @@ def run_scenario(
     :class:`~repro.sim.dispatch.PartialResult` records (per-cell
     summaries, per-run folds) back as they complete — fused backend
     only, since only the work queue surfaces incremental completions.
+    ``chunk_size`` sets the fused dispatch grain (None = auto;
+    bit-identical results at every grain; ignored off-fused).
     """
     root_seed = spec.seed if seed is None else seed
     if on_partial is not None and backend != "fused":
@@ -667,6 +717,7 @@ def run_scenario(
             columnar,
             cache,
             on_partial=on_partial,
+            chunk_size=chunk_size,
         )
     harness = MonteCarlo(
         n_runs=spec.n_runs if n_runs is None else n_runs,

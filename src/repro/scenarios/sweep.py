@@ -189,6 +189,7 @@ def run_sweep(
     columnar: bool = True,
     cache: Optional[ResultCache] = None,
     record_dir: Optional[str] = None,
+    chunk_size: Optional[int] = None,
 ) -> "List[Tuple[SweepCell, Dict[str, RunStatistics]]]":
     """Execute every grid cell and return (cell, aggregated stats) pairs.
 
@@ -214,6 +215,7 @@ def run_sweep(
             columnar=columnar,
             cache=cache,
             record_dir=record_dir,
+            chunk_size=chunk_size,
         )
     results = []
     for cell in grid:
@@ -239,6 +241,7 @@ def _run_sweep_fused(
     columnar: bool,
     cache: Optional[ResultCache],
     record_dir: Optional[str],
+    chunk_size: Optional[int] = None,
 ) -> "List[Tuple[SweepCell, Dict[str, RunStatistics]]]":
     """One fused dispatch for the whole grid.
 
@@ -285,7 +288,7 @@ def _run_sweep_fused(
         spans.append((index, len(items), len(cell_items), key, runs))
         items.extend(cell_items)
     if items:
-        outputs = execute_items(items, workers=workers)
+        outputs = execute_items(items, workers=workers, chunk_size=chunk_size)
         for index, start, count, key, runs in spans:
             collected = collect_metric_columns(
                 outputs[start : start + count]

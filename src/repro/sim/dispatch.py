@@ -33,6 +33,18 @@ parent task's result. The bookkeeping lives in :class:`ReductionLedger`,
 which is a pure completion-order-independent state machine: the property
 tests drive it with shuffled completion orders and assert the canonical
 output never changes.
+
+Dispatch grain
+--------------
+Submitting one pool task per (run x cell) item prices every item at a
+full pickle/IPC round trip — a loss against the serial path when items
+are tiny (many cells, few devices each). The scheduler therefore groups
+consecutive canonical items into *chunks* (:func:`auto_chunk_size`, or
+an explicit ``chunk_size``) and submits each chunk as one task; the
+worker runs the chunk's items in order, each with its own derived
+generator, and the scheduler unpacks the returned value list into the
+exact per-item ledger completions the unchunked path performs. Results
+are bit-identical for every chunk size and worker count.
 """
 
 from __future__ import annotations
@@ -155,6 +167,38 @@ def _execute_item(item: WorkItem) -> Any:
     """Worker entry point: derive the task generator and run the task."""
     rng = derive_task_rng(item.seed, item.spawn_index)
     return item.fn(rng, item.address, item.payload)
+
+
+#: Chunks never grow past this: larger grains stop helping amortise the
+#: per-task pickle/IPC round trip and start costing scheduling slack.
+_MAX_CHUNK_SIZE = 64
+
+
+def auto_chunk_size(n_items: int, workers: int) -> int:
+    """The default dispatch grain for ``n_items`` over ``workers``.
+
+    Aims at ~4 chunks per worker — enough batching to amortise the
+    per-task pickle/IPC round trip when items are tiny (the regime
+    where fused used to lose to serial), while keeping the queue deep
+    enough that an uneven item mix still load-balances. A deterministic
+    pure function of ``(n_items, workers)``: the chunk boundaries never
+    depend on timing.
+    """
+    if n_items < 1:
+        raise ConfigurationError(f"n_items must be >= 1, got {n_items}")
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    return max(1, min(_MAX_CHUNK_SIZE, -(-n_items // (workers * 4))))
+
+
+def _execute_chunk(items: Tuple[WorkItem, ...]) -> List[Any]:
+    """Worker entry point for a chunk: run its items in canonical order.
+
+    Each item still derives its own ``(seed, spawn_index)`` generator,
+    so the values are element-for-element identical to ``_execute_item``
+    — the chunk only changes how many results ride one IPC round trip.
+    """
+    return [_execute_item(item) for item in items]
 
 
 def _execute_reduce(
@@ -381,18 +425,49 @@ class ReductionLedger:
 
 
 class FusedScheduler:
-    """One process pool draining a flattened (run x cell) work queue."""
+    """One process pool draining a flattened (run x cell) work queue.
 
-    def __init__(self, workers: Optional[int] = None) -> None:
+    ``chunk_size`` sets the dispatch grain: the scheduler groups
+    consecutive canonical items into chunks of that size and submits
+    each chunk as one pool task (one pickle/IPC round trip for the
+    whole chunk), then unpacks the returned values into exactly the
+    per-item ledger completions the unchunked path performs. ``None``
+    (the default) picks :func:`auto_chunk_size` per batch; ``1`` is
+    bit-for-bit the per-item submission path. Results are identical for
+    every chunk size because each item keeps its own derived generator
+    and the ledger is completion-order-independent.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
         workers = default_workers() if workers is None else workers
         if workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
         self._workers = workers
+        self._chunk_size = chunk_size
 
     @property
     def workers(self) -> int:
         """Pool size."""
         return self._workers
+
+    @property
+    def chunk_size(self) -> Optional[int]:
+        """The configured dispatch grain (None = auto per batch)."""
+        return self._chunk_size
+
+    def _grain(self, n_items: int) -> int:
+        """The chunk size for one batch of ``n_items`` sibling tasks."""
+        if self._chunk_size is not None:
+            return self._chunk_size
+        return auto_chunk_size(n_items, self._workers)
 
     def run(
         self,
@@ -427,50 +502,74 @@ class FusedScheduler:
         # (see repro.devices.sharedmem's lifecycle contract).
         resource_tracker.ensure_running()
         with ProcessPoolExecutor(max_workers=self._workers) as pool:
-            #: future -> ("top", index) | ("sub", top_index, position)
+            #: future -> ("top", start, chunk_items)
+            #:        | ("sub", top_index, start, chunk_items)
             #:        | ("reduce", top_index)
+            #: A chunk's items ride in the slot so completions can be
+            #: unpacked against their canonical addresses.
             pending: Dict[Any, Tuple] = {}
-            addresses: Dict[Tuple, TaskAddress] = {}
-            for index, item in enumerate(items):
-                slot = ("top", index)
-                pending[pool.submit(_execute_item, item)] = slot
-                addresses[slot] = item.address
+
+            def submit_top(batch: Sequence[WorkItem]) -> None:
+                grain = self._grain(len(batch))
+                for start in range(0, len(batch), grain):
+                    chunk = tuple(batch[start : start + grain])
+                    pending[pool.submit(_execute_chunk, chunk)] = (
+                        "top", start, chunk,
+                    )
+
+            def submit_sub(top_index: int, fanout: FanOut) -> None:
+                grain = self._grain(len(fanout.items))
+                for start in range(0, len(fanout.items), grain):
+                    chunk = tuple(fanout.items[start : start + grain])
+                    pending[pool.submit(_execute_chunk, chunk)] = (
+                        "sub", top_index, start, chunk,
+                    )
+
+            def submit_reduce(ready: ReadyReduce) -> None:
+                pending[
+                    pool.submit(
+                        _execute_reduce,
+                        ready.reduce_fn,
+                        ready.state,
+                        ready.results,
+                        ready.address,
+                    )
+                ] = ("reduce", ready.top_index, ready.address)
+
+            submit_top(items)
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
                 for future in done:
                     slot = pending.pop(future)
                     value = future.result()
-                    address = addresses.pop(slot, None)
                     if slot[0] == "top":
-                        fanout = ledger.complete_top(
-                            slot[1], value, address=address
-                        )
-                        if fanout is not None:
-                            for position, sub in enumerate(fanout.items):
-                                sub_slot = ("sub", slot[1], position)
-                                pending[
-                                    pool.submit(_execute_item, sub)
-                                ] = sub_slot
-                                addresses[sub_slot] = sub.address
+                        _, start, chunk = slot
+                        for offset, (item, result) in enumerate(
+                            zip(chunk, value)
+                        ):
+                            fanout = ledger.complete_top(
+                                start + offset,
+                                result,
+                                address=item.address,
+                            )
+                            if fanout is not None:
+                                submit_sub(start + offset, fanout)
                     elif slot[0] == "sub":
-                        ready = ledger.complete_sub(
-                            slot[1], slot[2], value, address=address
-                        )
-                        if ready is not None:
-                            reduce_slot = ("reduce", ready.top_index)
-                            pending[
-                                pool.submit(
-                                    _execute_reduce,
-                                    ready.reduce_fn,
-                                    ready.state,
-                                    ready.results,
-                                    ready.address,
-                                )
-                            ] = reduce_slot
-                            addresses[reduce_slot] = ready.address
+                        _, top_index, start, chunk = slot
+                        for offset, (item, result) in enumerate(
+                            zip(chunk, value)
+                        ):
+                            ready = ledger.complete_sub(
+                                top_index,
+                                start + offset,
+                                result,
+                                address=item.address,
+                            )
+                            if ready is not None:
+                                submit_reduce(ready)
                     else:
                         ledger.complete_reduce(
-                            slot[1], value, address=address
+                            slot[1], value, address=slot[2]
                         )
                     drain()
         drain()
@@ -481,9 +580,12 @@ def execute_items(
     items: Sequence[WorkItem],
     workers: Optional[int] = None,
     on_partial: Optional[PartialFn] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[Any]:
     """One-call front: dispatch ``items`` through a fused scheduler."""
-    return FusedScheduler(workers=workers).run(items, on_partial=on_partial)
+    return FusedScheduler(workers=workers, chunk_size=chunk_size).run(
+        items, on_partial=on_partial
+    )
 
 
 # ----------------------------------------------------------------------
@@ -505,6 +607,7 @@ def run_fused(
     workers: Optional[int] = None,
     campaign: str = "montecarlo",
     on_partial: Optional[PartialFn] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[Dict[str, float]]:
     """Execute a Monte-Carlo run function through the fused queue.
 
@@ -525,7 +628,9 @@ def run_fused(
         )
         for run_index in range(n_runs)
     ]
-    return execute_items(items, workers=workers, on_partial=on_partial)
+    return execute_items(
+        items, workers=workers, on_partial=on_partial, chunk_size=chunk_size
+    )
 
 
 def _map_task(
@@ -545,6 +650,7 @@ def map_fused(
     campaign: str = "map",
     cell_ids: Optional[Sequence[int]] = None,
     on_partial: Optional[PartialFn] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[Any]:
     """Map ``fn`` over ``items`` through the fused queue.
 
@@ -576,4 +682,6 @@ def map_fused(
                 spawn_index=index,
             )
         )
-    return execute_items(work, workers=workers, on_partial=on_partial)
+    return execute_items(
+        work, workers=workers, on_partial=on_partial, chunk_size=chunk_size
+    )

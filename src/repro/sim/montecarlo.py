@@ -161,9 +161,12 @@ class MonteCarlo:
         backend: str = "serial",
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        chunk_size: Optional[int] = None,
     ) -> None:
         """``seed`` defaults to the paper's publication year, because a
-        default seed has to be something."""
+        default seed has to be something. ``chunk_size`` sets the fused
+        backend's dispatch grain (None = auto; ignored otherwise) —
+        results are bit-identical at every grain."""
         if n_runs < 1:
             raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
         if backend not in BACKENDS:
@@ -172,11 +175,16 @@ class MonteCarlo:
             )
         if workers is not None and workers < 1:
             raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        if chunk_size is not None and chunk_size < 1:
+            raise ConfigurationError(
+                f"chunk_size must be >= 1, got {chunk_size}"
+            )
         self._n_runs = n_runs
         self._seed = seed
         self._backend = backend
         self._workers = workers
         self._cache = cache
+        self._chunk_size = chunk_size
 
     @property
     def n_runs(self) -> int:
@@ -238,7 +246,11 @@ class MonteCarlo:
             from repro.sim.dispatch import run_fused
 
             per_run = run_fused(
-                fn, self._seed, self._n_runs, workers=self._workers
+                fn,
+                self._seed,
+                self._n_runs,
+                workers=self._workers,
+                chunk_size=self._chunk_size,
             )
         else:
             # Validate as each run completes so a bad run fn fails the
@@ -280,11 +292,17 @@ def run_monte_carlo(
     cache: Optional[ResultCache] = None,
     cache_tag: Optional[str] = None,
     config_fingerprint: str = "",
+    chunk_size: Optional[int] = None,
 ) -> Dict[str, RunStatistics]:
     """One-call front for the harness: build a :class:`MonteCarlo` with
     the requested backend and run ``fn``."""
     harness = MonteCarlo(
-        n_runs=n_runs, seed=seed, backend=backend, workers=workers, cache=cache
+        n_runs=n_runs,
+        seed=seed,
+        backend=backend,
+        workers=workers,
+        cache=cache,
+        chunk_size=chunk_size,
     )
     return harness.run(
         fn, cache_tag=cache_tag, config_fingerprint=config_fingerprint

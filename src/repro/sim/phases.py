@@ -1,0 +1,67 @@
+"""Phase-timing observability for the simulation cold path.
+
+A run decomposes into a fixed set of phases — ``generate`` (fleet
+sampling), ``plan`` (grouping), ``execute`` (campaign execution),
+``reduce`` (repair rounds + metric fold), plus the fused backend's
+``publish`` (sealing the fleet into shared memory) and ``attach``
+(mapping the segment in a worker). :class:`PhaseTimer` accumulates
+wall-clock seconds per phase; the timings ride as observability
+side-channels only — recorded run metadata
+(:class:`~repro.sim.eventlog.RunLog` ``meta``), streamed fused cell
+summaries, bench artifacts — never inside the metric dicts, whose
+floats-only keys are part of the cross-backend bit-identity contract.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Dict, Iterable, Iterator, Mapping
+
+#: The canonical phase vocabulary, in pipeline order.
+PHASE_NAMES = ("generate", "plan", "execute", "reduce", "publish", "attach")
+
+
+class PhaseTimer:
+    """Accumulates wall-clock seconds into named phases.
+
+    Phases may be entered repeatedly (e.g. ``execute`` once per cell of
+    a run); durations accumulate. Timing never touches any random
+    stream, so instrumented and uninstrumented runs are bit-identical.
+    """
+
+    def __init__(self) -> None:
+        self._seconds: Dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one ``with`` block into phase ``name``."""
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, perf_counter() - start)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into phase ``name`` directly."""
+        self._seconds[name] = self._seconds.get(name, 0.0) + float(seconds)
+
+    def timings(self) -> Dict[str, float]:
+        """The accumulated ``{phase}_s`` durations (insertion order)."""
+        return {f"{name}_s": value for name, value in self._seconds.items()}
+
+
+def merge_timings(
+    parts: Iterable[Mapping[str, float]],
+) -> Dict[str, float]:
+    """Key-wise sum of several ``{phase}_s`` timing dicts.
+
+    The aggregation the benches use to fold per-cell fused timings
+    (streamed one :class:`~repro.sim.dispatch.PartialResult` at a time)
+    into per-run or per-campaign totals.
+    """
+    merged: Dict[str, float] = {}
+    for part in parts:
+        for key, value in part.items():
+            merged[key] = merged.get(key, 0.0) + float(value)
+    return merged

@@ -8,7 +8,7 @@ one child generator per run via :mod:`repro.sim.rng`).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 import numpy as np
 
@@ -24,6 +24,85 @@ from repro.traffic.validation import validate_unit_sum
 #: IMSIs are drawn from this many distinct values (a national operator range).
 _IMSI_BASE = 234_150_000_000_000
 _IMSI_RANGE = 10_000_000
+
+#: Fleet sizes up to this keep the historical ``Generator.choice``
+#: draw — the stream every golden pin (scenario metrics, event-log
+#: pins, equivalence benches) was recorded under. Larger fleets switch
+#: to the O(n) rejection sampler: no pinned artifact covers them, and
+#: ``Generator.choice(replace=False)`` materialises a permutation of
+#: the whole operator-sized pool on NumPy < 1.25 (tens of seconds at
+#: 10^6 devices).
+_DIRECT_DRAW_MAX = 100_000
+
+#: ``sample_imsis`` draw strategies (``auto`` picks by fleet size).
+IMSI_SAMPLER_METHODS = ("auto", "direct", "rejection")
+
+
+def _rejection_sample(n: int, rng: np.random.Generator) -> np.ndarray:
+    """O(n) without-replacement draw of ``n`` values from the IMSI pool.
+
+    Batched rejection: draw candidates uniformly, keep each batch's
+    first occurrences in draw order, drop values already taken, repeat
+    until ``n`` are collected. The batch size oversamples by the
+    remaining pool's collision rate, so the expected total work is
+    O(n) even for draws that consume most of the pool. The output
+    order is the first-draw order — a pure function of the generator
+    stream, independent of batch boundaries' timing.
+    """
+    taken = np.zeros(_IMSI_RANGE, dtype=bool)
+    out = np.empty(n, dtype=np.int64)
+    filled = 0
+    while filled < n:
+        need = n - filled
+        fresh_fraction = (_IMSI_RANGE - filled) / _IMSI_RANGE
+        batch = int(need / fresh_fraction * 1.1) + 16
+        candidates = rng.integers(0, _IMSI_RANGE, size=batch, dtype=np.int64)
+        # np.unique(return_index) gives one index per distinct value;
+        # sorting those indices restores first-occurrence draw order.
+        first_seen = np.sort(np.unique(candidates, return_index=True)[1])
+        candidates = candidates[first_seen]
+        fresh = candidates[~taken[candidates]][:need]
+        taken[fresh] = True
+        out[filled : filled + fresh.size] = fresh
+        filled += fresh.size
+    return out
+
+
+def sample_imsis(
+    n: int, rng: np.random.Generator, *, method: str = "auto"
+) -> np.ndarray:
+    """Draw ``n`` distinct IMSIs without replacement from the pool.
+
+    ``method="direct"`` is the historical ``Generator.choice`` draw
+    (the stream the golden pins were recorded under);
+    ``method="rejection"`` is the O(n) batched rejection sampler used
+    for fleets beyond any pinned size; ``method="auto"`` (the default)
+    selects by fleet size at the :data:`_DIRECT_DRAW_MAX` threshold, so
+    every golden-covered size keeps its exact stream while 10^6-device
+    fleets sample in O(n). Both methods guarantee the returned IMSIs
+    are unique, in range, and exactly ``n`` strong — the fleet
+    constructors trust this instead of rescanning the column.
+    """
+    if method not in IMSI_SAMPLER_METHODS:
+        raise ConfigurationError(
+            f"IMSI sampler method must be one of {IMSI_SAMPLER_METHODS}, "
+            f"got {method!r}"
+        )
+    if n < 1:
+        raise ConfigurationError(f"fleet size must be >= 1, got {n}")
+    if n > _IMSI_RANGE:
+        raise ConfigurationError(
+            f"fleet size {n} exceeds the IMSI pool ({_IMSI_RANGE})"
+        )
+    if method == "auto":
+        method = "direct" if n <= _DIRECT_DRAW_MAX else "rejection"
+    if method == "direct":
+        drawn = np.asarray(
+            rng.choice(_IMSI_RANGE, size=n, replace=False), dtype=np.int64
+        )
+    else:
+        drawn = _rejection_sample(n, rng)
+    return drawn + _IMSI_BASE
 
 
 @dataclass(frozen=True)
@@ -77,26 +156,30 @@ def generate_fleet(
     coverage_mix: CoverageMix = UNIFORM_NORMAL_COVERAGE,
     nb: NB = NB.ONE_T,
     battery: Optional[Battery] = None,
+    out: Optional[Mapping[str, np.ndarray]] = None,
 ) -> Fleet:
     """Sample a fleet of ``n`` devices from ``mixture``.
 
     IMSIs are drawn without replacement from an operator-sized range, so
     UE_ID collisions (devices sharing paging occasions) occur at their
-    natural rate rather than never.
+    natural rate rather than never. The draw is :func:`sample_imsis`:
+    stream-identical to the historical ``Generator.choice`` draw up to
+    the golden-pinned sizes, O(n) rejection sampling beyond them.
 
     The fleet is built columnar-first: the sampled draws land directly
     in a :class:`FleetArrays` (paging phases derived vectorised) and no
     device object is ever instantiated, so generating 10^6 devices costs
-    flat arrays rather than a million frozen dataclasses. The RNG stream
-    is unchanged from the object-first implementation.
+    flat arrays rather than a million frozen dataclasses. When ``out``
+    supplies writable destination buffers (one per schema column — e.g.
+    a staged :class:`~repro.devices.sharedmem.SharedFleet`'s views) the
+    columns are built directly inside them, so publishing the fleet to
+    shared memory needs no second column-by-column copy.
+
+    The sampler guarantees unique IMSIs by construction, so the
+    returned fleet skips the duplicate-IMSI rescan entirely — the
+    validate-once half of the trust-the-creator contract.
     """
-    if n < 1:
-        raise ConfigurationError(f"fleet size must be >= 1, got {n}")
-    if n > _IMSI_RANGE:
-        raise ConfigurationError(
-            f"fleet size {n} exceeds the IMSI pool ({_IMSI_RANGE})"
-        )
-    imsis = rng.choice(_IMSI_RANGE, size=n, replace=False) + _IMSI_BASE
+    imsis = sample_imsis(n, rng)
     cat_idx, periods = mixture.sample_columns(n, rng)
     coverage_codes = coverage_mix.sample_codes(n, rng)
     mixture_code = np.array(
@@ -104,11 +187,12 @@ def generate_fleet(
         dtype=np.int64,
     )
     arrays = FleetArrays.from_columns(
-        imsis=np.asarray(imsis, dtype=np.int64),
+        imsis=imsis,
         periods=periods,
         coverage_codes=coverage_codes,
         category_codes=mixture_code[cat_idx],
         nb=nb,
         battery=battery,
+        out=out,
     )
-    return Fleet.from_arrays(arrays)
+    return Fleet.from_arrays(arrays, trusted=True)
